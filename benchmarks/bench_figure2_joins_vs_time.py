@@ -1,0 +1,20 @@
+"""Benchmark F2: execution time vs. number of joins (Figure 2).
+
+Expected shape: R² of the joins→time regression near or below zero.
+"""
+
+from repro.experiments import figure2
+
+
+def test_figure2_joins_vs_execution_time(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure2.run, kwargs={"scale": bench_scale}, iterations=1, rounds=1
+    )
+    assert result.regression.n == 113
+    # Join count must not be a good predictor of execution time.
+    assert result.regression.r_squared < 0.5
+    print()
+    print(
+        f"Figure 2: R^2={result.regression.r_squared:.3f} over {result.regression.n} queries "
+        f"(paper: -0.11)"
+    )

@@ -1,0 +1,18 @@
+"""Benchmark F3: dataset split sampling strategies (Figure 3)."""
+
+from repro.core.splits import SplitSampling
+from repro.experiments import figure3
+
+
+def test_figure3_split_sampling(benchmark, bench_scale):
+    splits = benchmark.pedantic(
+        figure3.run, kwargs={"scale": bench_scale}, iterations=1, rounds=1
+    )
+    assert set(splits) == {s.value for s in SplitSampling}
+    rows = figure3.assignment_rows(splits)
+    loo = next(r for r in rows if r["sampling"] == "leave_one_out")
+    base = next(r for r in rows if r["sampling"] == "base_query")
+    assert loo["test_queries"] == 33          # one variant per family
+    assert base["families_fully_held_out"] > 0
+    print()
+    print(figure3.main(bench_scale))

@@ -1,0 +1,45 @@
+"""Benchmark F4: end-to-end LQO comparison on JOB (Figure 4).
+
+Expected shape: PostgreSQL best or tied on most splits; Bao/HybridQO
+competitive; Neo/Balsa slower end-to-end; LEON dominated by inference time.
+By default a reduced grid is run (three methods, one split per sampling);
+set ``REPRO_BENCH_FULL=1`` for all six methods and three splits per sampling.
+"""
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import format_table
+from repro.experiments import figure4
+from repro.lqo.registry import MAIN_EVALUATION_METHODS
+
+REDUCED_METHODS = ("postgres", "bao", "hybridqo", "neo")
+
+
+def test_figure4_job_end_to_end(benchmark, bench_scale, bench_full):
+    methods = MAIN_EVALUATION_METHODS if bench_full else REDUCED_METHODS
+    splits_per_sampling = 3 if bench_full else 1
+    config = ExperimentConfig(
+        optimizer_kwargs={
+            "bao": {"training_passes": 1},
+            "neo": {"training_iterations": 1},
+            "balsa": {"training_iterations": 1},
+            "hybridqo": {"mcts_iterations": 15},
+        }
+    )
+    result = benchmark.pedantic(
+        figure4.run,
+        kwargs={
+            "scale": bench_scale,
+            "methods": methods,
+            "splits_per_sampling": splits_per_sampling,
+            "experiment_config": config,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    assert len(result.runs) == len(methods) * 3 * splits_per_sampling
+    best = result.best_method_per_split()
+    # The classical baseline must win or tie on at least one split (paper: most splits).
+    assert len(best) == 3 * splits_per_sampling
+    print()
+    print(format_table(result.rows(), title="Figure 4 (JOB, reduced grid)"))
+    print("best method per split:", best)

@@ -1,0 +1,37 @@
+"""Benchmark F5: end-to-end LQO comparison on STACK (Figure 5)."""
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import format_table
+from repro.experiments import figure5
+from repro.lqo.registry import MAIN_EVALUATION_METHODS
+
+REDUCED_METHODS = ("postgres", "bao", "hybridqo")
+
+
+def test_figure5_stack_end_to_end(benchmark, bench_scale, bench_full):
+    methods = MAIN_EVALUATION_METHODS if bench_full else REDUCED_METHODS
+    splits_per_sampling = 3 if bench_full else 1
+    config = ExperimentConfig(
+        optimizer_kwargs={
+            "bao": {"training_passes": 1},
+            "neo": {"training_iterations": 1},
+            "balsa": {"training_iterations": 1},
+            "hybridqo": {"mcts_iterations": 15},
+        }
+    )
+    result = benchmark.pedantic(
+        figure5.run,
+        kwargs={
+            "scale": bench_scale,
+            "methods": methods,
+            "splits_per_sampling": splits_per_sampling,
+            "experiment_config": config,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    assert len(result.runs) == len(methods) * 3 * splits_per_sampling
+    assert all(run.timings for run in result.runs)
+    print()
+    print(format_table(result.rows(), title="Figure 5 (STACK, reduced grid)"))
+    print("best method per split:", result.best_method_per_split())

@@ -1,0 +1,42 @@
+"""Benchmark F6: training time vs. combined workload runtime (Figure 6).
+
+Expected shape: no positive payoff from longer training — the methods that
+train the longest do not produce the fastest workloads.
+"""
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import format_table
+from repro.experiments import figure4, figure6
+
+
+def test_figure6_training_time_vs_runtime(benchmark, bench_scale):
+    config = ExperimentConfig(
+        optimizer_kwargs={
+            "bao": {"training_passes": 1},
+            "neo": {"training_iterations": 1},
+            "hybridqo": {"mcts_iterations": 10},
+        }
+    )
+
+    def body():
+        job = figure4.run(
+            scale=bench_scale,
+            methods=("postgres", "bao", "neo", "hybridqo"),
+            splits_per_sampling=1,
+            experiment_config=config,
+        )
+        return figure6.run(precomputed=[job])
+
+    points = benchmark.pedantic(body, iterations=1, rounds=1)
+    learned = [p for p in points if p.method != "postgres"]
+    assert learned and all(p.training_time_s > 0 for p in learned)
+    postgres_points = [p for p in points if p.method == "postgres"]
+    assert all(p.training_time_s == 0.0 for p in postgres_points)
+    summary = figure6.correlation_summary(points)
+    print()
+    print(format_table([{
+        "method": p.method, "split": p.split,
+        "training_time_s": round(p.training_time_s, 2),
+        "workload_runtime_ms": round(p.workload_runtime_ms, 1),
+    } for p in points], title="Figure 6 points (JOB, reduced grid)"))
+    print("correlation summary:", summary)

@@ -1,0 +1,27 @@
+"""Benchmark F7: robustness of repeated query executions (Figure 7).
+
+Expected shape: a double-digit percentage drop between the 1st and 2nd
+execution, roughly 1% between the 2nd and 3rd, then no trend.
+"""
+
+from repro.experiments import figure7
+
+SAMPLE_QUERIES = ["1a", "2a", "3a", "4a", "6a", "8a", "10a", "17a", "20a", "32a"]
+
+
+def test_figure7_execution_robustness(benchmark, bench_scale, bench_full):
+    executions = 50 if bench_full else 12
+    query_ids = None if bench_full else SAMPLE_QUERIES
+    result = benchmark.pedantic(
+        figure7.run,
+        kwargs={"scale": bench_scale, "executions": executions, "query_ids": query_ids},
+        iterations=1,
+        rounds=1,
+    )
+    drop_1 = result.mean_drop(1)
+    drop_2 = result.mean_drop(2)
+    assert drop_1 > 0.03            # the cache warm-up is clearly visible
+    assert abs(drop_2) < drop_1     # and mostly done after the second run
+    print()
+    print(f"Figure 7: mean drop 1->2 = {drop_1 * 100:.1f}% (paper: 14.6%), "
+          f"2->3 = {drop_2 * 100:.1f}% (paper: 1.03%)")

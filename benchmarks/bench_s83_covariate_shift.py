@@ -1,0 +1,26 @@
+"""Benchmark 8.3: covariate shift — Bao-Full vs. Bao-50 (Section 8.3).
+
+Expected shape: the model trained on the shifted (halved) database regresses
+on several queries and improves on a few when evaluated on the full database.
+"""
+
+from repro.core.experiment import ExperimentConfig
+from repro.experiments import s83_covariate_shift
+
+
+def test_s83_covariate_shift(benchmark, bench_scale):
+    config = ExperimentConfig(optimizer_kwargs={"bao": {"training_passes": 1}})
+    result = benchmark.pedantic(
+        s83_covariate_shift.run,
+        kwargs={"scale": bench_scale, "experiment_config": config},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.slowdown_factors
+    assert all(factor > 0 for factor in result.slowdown_factors.values())
+    regressions = result.top_regressions(3)
+    print()
+    print("Bao-50 vs Bao-Full — top regressions:",
+          [(qid, round(f, 2)) for qid, f in regressions])
+    print("Bao-50 vs Bao-Full — improvements:",
+          [(qid, round(f, 2)) for qid, f in result.top_improvements(3)])

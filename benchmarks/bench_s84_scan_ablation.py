@@ -1,0 +1,32 @@
+"""Benchmark 8.4: bitmap/tid scan ablation (Section 8.4).
+
+Expected shape: disabling bitmap/tid scans changes a meaningful number of
+queries in *both* directions.
+"""
+
+from repro.experiments import s84_scans
+
+SAMPLE_QUERIES = [
+    "1a", "2a", "3a", "4a", "5a", "6a", "7a", "8a", "10a", "13a",
+    "15a", "17a", "20a", "22a", "28a", "30a", "32a",
+]
+
+
+def test_s84_bitmap_tid_scan_ablation(benchmark, bench_scale, bench_full):
+    query_ids = None if bench_full else SAMPLE_QUERIES
+    result = benchmark.pedantic(
+        s84_scans.run,
+        kwargs={"scale": bench_scale, "hot_samples": 4, "query_ids": query_ids},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.outcomes
+    speedups = result.top_speedups(3)
+    slowdowns = result.top_slowdowns(3)
+    print()
+    print("disabling bitmap/tid scans — top speedups:",
+          [(o.query_id, round(o.speedup_factor, 2)) for o in speedups])
+    print("disabling bitmap/tid scans — top slowdowns:",
+          [(o.query_id, round(o.slowdown_factor, 2)) for o in slowdowns])
+    print("affected (>0.25 ms):", len(result.affected_queries(0.25)),
+          "significant:", len(result.significant_queries(0.25)))

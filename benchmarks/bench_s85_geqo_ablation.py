@@ -1,0 +1,28 @@
+"""Benchmark 8.5: GEQO ablation (Section 8.5).
+
+Expected shape: fewer affected queries than the scan ablation, but significant
+differences in both directions among the larger queries.
+"""
+
+from repro.experiments import s85_geqo
+
+SAMPLE_QUERIES = [
+    "14a", "20a", "22a", "23a", "24a", "26a", "27a", "28a", "29a", "30a", "31a", "33a",
+]
+
+
+def test_s85_geqo_ablation(benchmark, bench_scale, bench_full):
+    query_ids = None if bench_full else SAMPLE_QUERIES
+    result = benchmark.pedantic(
+        s85_geqo.run,
+        kwargs={"scale": bench_scale, "hot_samples": 3, "query_ids": query_ids},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.outcomes
+    print()
+    print("disabling GEQO — top speedups:",
+          [(o.query_id, round(o.speedup_factor, 2)) for o in result.top_speedups(3)])
+    print("disabling GEQO — top slowdowns:",
+          [(o.query_id, round(o.slowdown_factor, 2)) for o in result.top_slowdowns(3)])
+    print("significant changes:", len(result.significant_queries(0.25)))

@@ -1,0 +1,28 @@
+"""Benchmark 8.7: bushy vs. left-deep plan analysis (Section 8.7).
+
+Expected shape: bushy plans at least match left-deep plans, and at the fast
+tail of the combined distribution bushy plans are significantly better —
+removing them from an LQO's search space lowers the chance of finding the
+best plan.
+"""
+
+from repro.experiments import s87_plan_types
+
+
+def test_s87_plan_shape_analysis(benchmark, bench_scale, bench_full):
+    max_plans = 48 if bench_full else 20
+    result = benchmark.pedantic(
+        s87_plan_types.run,
+        kwargs={"scale": bench_scale, "max_joins": 4, "max_plans_per_query": max_plans},
+        iterations=1,
+        rounds=1,
+    )
+    bushy = result.times_for(bushy=True)
+    linear = result.times_for(bushy=False)
+    assert bushy.size > 0 and linear.size > 0
+    # The fastest bushy plan is at least as good as the fastest left-deep plan
+    # (within measurement noise) — the paper's "fast tail" argument.
+    assert bushy.min() <= linear.min() * 1.10
+    summary = s87_plan_types.summary(result)
+    print()
+    print("Section 8.7 summary:", summary)

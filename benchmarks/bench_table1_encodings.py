@@ -1,0 +1,13 @@
+"""Benchmark T1: regenerate Table 1 (LQO encoding components)."""
+
+from repro.experiments import table1
+
+
+def test_table1_encoding_inventory(benchmark):
+    rows = benchmark(table1.run)
+    assert len(rows) == 8
+    assert {row["LQO"] for row in rows} == {
+        "Neo", "RTOS", "Bao", "Balsa", "Lero", "LEON", "LOGER", "HybridQO",
+    }
+    print()
+    print(table1.main())

@@ -1,0 +1,13 @@
+"""Benchmark T2: regenerate Table 2 (PostgreSQL configurations across papers)."""
+
+from repro.experiments import table2
+
+
+def test_table2_configuration_matrix(benchmark):
+    rows = benchmark(table2.run)
+    assert len(rows) == len(table2.TABLE2_PARAMETERS)
+    deviations = table2.deviations()
+    assert deviations["default"] == {}
+    assert "enable_bitmapscan" in deviations["balsa_leon"]
+    print()
+    print(table2.main())

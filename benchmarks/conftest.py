@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper at a reduced,
+laptop-friendly scale (see DESIGN.md §4 for the experiment index).  Set the
+environment variables ``REPRO_BENCH_SCALE`` (database scale factor) and
+``REPRO_BENCH_FULL=1`` (full experiment grids) for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Reduced database scale used by default so the whole suite finishes quickly.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+#: Whether to run the full experiment grids (all methods, 3 splits/sampling).
+BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_full() -> bool:
+    return BENCH_FULL

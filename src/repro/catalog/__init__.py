@@ -1,0 +1,36 @@
+"""Schema, statistics and synthetic data generation for the benchmark databases.
+
+The catalog package models what PostgreSQL keeps in ``pg_class`` /
+``pg_statistic``: table and column definitions, indexes, foreign keys, and the
+per-column statistics collected by ``ANALYZE`` (null fraction, number of
+distinct values, most common values, equi-depth histogram).
+
+Two concrete schemas are provided:
+
+* :mod:`repro.catalog.imdb` — the 21-table IMDB schema used by the Join Order
+  Benchmark, with a synthetic, skewed, foreign-key-consistent data generator.
+* :mod:`repro.catalog.stack` — a StackExchange-style schema used by the STACK
+  workload.
+"""
+
+from repro.catalog.schema import (
+    Column,
+    ColumnType,
+    ForeignKey,
+    Index,
+    Schema,
+    Table,
+)
+from repro.catalog.statistics import ColumnStatistics, TableStatistics, analyze_table
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Index",
+    "Schema",
+    "Table",
+    "ColumnStatistics",
+    "TableStatistics",
+    "analyze_table",
+]

@@ -1,0 +1,201 @@
+"""Synthetic data generation primitives used by the IMDB and STACK generators.
+
+The generators build dictionary-encoded numpy columns with the properties that
+make the Join Order Benchmark hard for cost-based optimizers:
+
+* **skew** — categorical and foreign-key columns follow Zipf-like
+  distributions, so a handful of values dominate,
+* **fan-out variance** — some parent rows (popular movies, popular users) have
+  orders of magnitude more children than others,
+* **cross-column correlation** — e.g. a movie's production year correlates
+  with how much metadata exists about it,
+* **NULLs** — a configurable fraction of values is missing.
+
+Everything is driven by a seeded :class:`numpy.random.Generator` so databases
+are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.catalog.statistics import NULL_SENTINEL
+
+
+def zipf_weights(n: int, skew: float = 1.1) -> np.ndarray:
+    """Normalized Zipf weights for ``n`` ranks with exponent ``skew``."""
+    if n <= 0:
+        return np.empty(0)
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-abs(skew))
+    return weights / weights.sum()
+
+
+def zipf_choice(
+    rng: np.random.Generator,
+    values: Sequence[int] | np.ndarray,
+    size: int,
+    skew: float = 1.1,
+    shuffle_ranks: bool = True,
+) -> np.ndarray:
+    """Sample ``size`` values with Zipf-distributed popularity.
+
+    When ``shuffle_ranks`` is set the popularity ranking is randomly assigned
+    to the value domain (so the most popular value is not always the smallest
+    one), which avoids artificial correlation between value magnitude and
+    frequency.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0 or size <= 0:
+        return np.empty(0, dtype=np.int64)
+    weights = zipf_weights(values.size, skew)
+    if shuffle_ranks:
+        perm = rng.permutation(values.size)
+        values = values[perm]
+    return rng.choice(values, size=size, p=weights)
+
+
+def uniform_choice(
+    rng: np.random.Generator, values: Sequence[int] | np.ndarray, size: int
+) -> np.ndarray:
+    """Uniformly sample ``size`` values from a domain."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0 or size <= 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(values, size=size)
+
+
+def primary_keys(n: int, start: int = 1) -> np.ndarray:
+    """Dense primary keys ``start, start+1, ..., start+n-1``."""
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+def foreign_keys(
+    rng: np.random.Generator,
+    parent_ids: np.ndarray,
+    size: int,
+    skew: float = 1.1,
+    null_frac: float = 0.0,
+) -> np.ndarray:
+    """Foreign-key column referencing ``parent_ids`` with skewed fan-out."""
+    column = zipf_choice(rng, parent_ids, size, skew=skew)
+    if null_frac > 0.0 and column.size:
+        mask = rng.random(column.size) < null_frac
+        column = column.copy()
+        column[mask] = NULL_SENTINEL
+    return column
+
+
+def correlated_foreign_keys(
+    rng: np.random.Generator,
+    parent_ids: np.ndarray,
+    size: int,
+    skew: float = 1.1,
+    correlation: float = 0.5,
+) -> np.ndarray:
+    """Foreign keys whose popularity correlates with the parent id order.
+
+    ``correlation`` in [0, 1] blends between shuffled Zipf popularity (0) and
+    popularity aligned with parent-id order (1): with high correlation, larger
+    parent ids (e.g. newer movies) receive more children.
+    """
+    parent_ids = np.asarray(parent_ids, dtype=np.int64)
+    if parent_ids.size == 0 or size <= 0:
+        return np.empty(0, dtype=np.int64)
+    weights = zipf_weights(parent_ids.size, skew)[::-1]  # favour large ids
+    uniform = np.full(parent_ids.size, 1.0 / parent_ids.size)
+    blended = correlation * weights + (1.0 - correlation) * uniform
+    blended = blended / blended.sum()
+    return rng.choice(parent_ids, size=size, p=blended)
+
+
+def categorical_column(
+    rng: np.random.Generator,
+    n_categories: int,
+    size: int,
+    skew: float = 1.05,
+    null_frac: float = 0.0,
+    start: int = 1,
+) -> np.ndarray:
+    """A skewed categorical column with values in ``[start, start+n_categories)``."""
+    domain = np.arange(start, start + n_categories, dtype=np.int64)
+    column = zipf_choice(rng, domain, size, skew=skew)
+    if null_frac > 0.0 and column.size:
+        mask = rng.random(column.size) < null_frac
+        column = column.copy()
+        column[mask] = NULL_SENTINEL
+    return column
+
+
+def year_column(
+    rng: np.random.Generator,
+    size: int,
+    low: int = 1880,
+    high: int = 2023,
+    recency_bias: float = 3.0,
+    null_frac: float = 0.02,
+) -> np.ndarray:
+    """Production-year style column biased towards recent years."""
+    if size <= 0:
+        return np.empty(0, dtype=np.int64)
+    u = rng.random(size) ** (1.0 / max(recency_bias, 1e-6))
+    years = (low + u * (high - low)).astype(np.int64)
+    if null_frac > 0.0:
+        mask = rng.random(size) < null_frac
+        years[mask] = NULL_SENTINEL
+    return years
+
+
+def numeric_column(
+    rng: np.random.Generator,
+    size: int,
+    low: int = 0,
+    high: int = 1000,
+    skew: float = 0.0,
+    null_frac: float = 0.0,
+) -> np.ndarray:
+    """Generic bounded integer column, optionally skewed towards ``low``."""
+    if size <= 0:
+        return np.empty(0, dtype=np.int64)
+    if skew > 0:
+        u = rng.random(size) ** (1.0 + skew)
+    else:
+        u = rng.random(size)
+    column = (low + u * (high - low)).astype(np.int64)
+    if null_frac > 0.0:
+        mask = rng.random(size) < null_frac
+        column[mask] = NULL_SENTINEL
+    return column
+
+
+def dictionary_column(
+    rng: np.random.Generator,
+    dictionary: Sequence[str],
+    size: int,
+    skew: float = 1.05,
+    null_frac: float = 0.0,
+) -> np.ndarray:
+    """Codes into ``dictionary`` with skewed popularity (text column contents)."""
+    domain = np.arange(len(dictionary), dtype=np.int64)
+    column = zipf_choice(rng, domain, size, skew=skew)
+    if null_frac > 0.0 and column.size:
+        mask = rng.random(column.size) < null_frac
+        column = column.copy()
+        column[mask] = NULL_SENTINEL
+    return column
+
+
+def unique_name_dictionary(prefix: str, n: int) -> list[str]:
+    """A dictionary of ``n`` distinct synthetic names (``prefix_000001`` ...)."""
+    return [f"{prefix}_{i:06d}" for i in range(n)]
+
+
+def pooled_name_dictionary(prefix: str, n: int, pools: Sequence[str]) -> list[str]:
+    """Names that embed tokens from ``pools`` so LIKE filters have matches."""
+    out = []
+    for i in range(n):
+        token = pools[i % len(pools)] if pools else ""
+        out.append(f"{prefix} {token} {i:05d}")
+    return out

@@ -1,0 +1,415 @@
+"""The IMDB schema of the Join Order Benchmark and its synthetic generator.
+
+The schema is the full 21-table layout queried by JOB (Leis et al., VLDB
+2015), including the two additional indexes on ``complete_cast.subject_id``
+and ``complete_cast.status_id`` that Balsa adds and the paper keeps
+(Section 8.1.1).
+
+The generator replaces the real ~3.6 GB IMDB dump with skewed,
+foreign-key-consistent synthetic data at a configurable scale factor, while
+exposing the exact dimension-table value pools (info types, kind types,
+company types, ...) that the JOB-style workload generator filters on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.datagen import (
+    categorical_column,
+    correlated_foreign_keys,
+    dictionary_column,
+    foreign_keys,
+    pooled_name_dictionary,
+    primary_keys,
+    year_column,
+)
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Schema, Table
+from repro.config import PostgresConfig
+from repro.storage.database import Database
+from repro.storage.table_data import TableData
+
+INT = ColumnType.INTEGER
+TEXT = ColumnType.TEXT
+
+# ---------------------------------------------------------------------------
+# Dimension value pools shared with the JOB workload generator.
+# ---------------------------------------------------------------------------
+
+INFO_TYPES = [
+    "budget", "bottom 10 rank", "countries", "genres", "gross", "languages",
+    "rating", "release dates", "runtimes", "top 250 rank", "votes",
+    "mini biography", "birth notes", "height", "trivia", "quotes",
+]
+KIND_TYPES = ["movie", "tv movie", "tv series", "video game", "video movie", "episode"]
+COMPANY_TYPES = ["distributors", "production companies", "special effects companies", "miscellaneous companies"]
+LINK_TYPES = [
+    "follows", "followed by", "remake of", "remade as", "references",
+    "referenced in", "spoofs", "spoofed in", "features", "featured in",
+    "spin off from", "spin off", "version of", "similar to", "edited into",
+    "edited from", "alternate language version of", "unknown link",
+]
+ROLE_TYPES = [
+    "actor", "actress", "producer", "writer", "cinematographer", "composer",
+    "costume designer", "director", "editor", "miscellaneous crew",
+    "production designer", "guest",
+]
+COMP_CAST_TYPES = ["cast", "crew", "complete", "complete+verified"]
+COUNTRY_CODES = ["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[ca]", "[it]", "[es]", "[se]", "[nl]", "[au]"]
+GENDERS = ["m", "f", ""]
+GENRES = [
+    "Drama", "Comedy", "Documentary", "Action", "Thriller", "Horror",
+    "Romance", "Adventure", "Crime", "Sci-Fi", "Family", "Animation",
+]
+KEYWORD_POOL = [
+    "character-name-in-title", "based-on-novel", "murder", "sequel", "love",
+    "violence", "independent-film", "revenge", "death", "friendship",
+    "marvel-comics", "superhero", "blood", "police", "new-york-city",
+    "female-nudity", "father-son-relationship", "based-on-comic", "dog",
+    "martial-arts", "hero", "fight", "magnet", "web", "second-part",
+]
+COMPANY_NOTE_POOL = ["(theatrical)", "(VHS)", "(DVD)", "(TV)", "(worldwide)", "(USA)", "(presents)", "(co-production)"]
+CAST_NOTE_POOL = ["(voice)", "(uncredited)", "(archive footage)", "(as himself)", "(credit only)", ""]
+MOVIE_INFO_POOL = GENRES + COUNTRY_CODES + ["English", "German", "French", "Japanese", "Spanish", "72", "90", "105", "120", "150"]
+TITLE_TOKENS = ["Dark", "Return", "Money", "Champion", "Freddy", "Jason", "Dragon", "Secret", "Night", "Summer", "Winter", "War"]
+NAME_TOKENS = ["Tim", "An", "Bert", "Yo", "Smith", "Downey", "Lee", "Kim", "Mueller", "Ivanov"]
+CHAR_TOKENS = ["Queen", "King", "Doctor", "Agent", "Captain", "Sheriff", "Mother", "Man", "Woman", "Kid"]
+
+#: Tables whose row counts scale with the ``title`` table (movie-related) or
+#: with the ``name`` table (cast-related); listed for the covariate-shift
+#: experiment in Section 8.3.
+MOVIE_RELATED_TABLES = [
+    "title", "movie_companies", "movie_info", "movie_info_idx",
+    "movie_keyword", "movie_link", "aka_title",
+]
+CAST_RELATED_TABLES = ["cast_info", "complete_cast"]
+
+
+def imdb_schema() -> Schema:
+    """Build the 21-table IMDB schema with JOB's indexes and foreign keys."""
+    tables = [
+        Table("title", [
+            Column("id", INT), Column("title", TEXT), Column("kind_id", INT),
+            Column("production_year", INT), Column("season_nr", INT),
+            Column("episode_nr", INT), Column("imdb_index", TEXT),
+        ], indexes=[]),
+        Table("kind_type", [Column("id", INT), Column("kind", TEXT)]),
+        Table("movie_companies", [
+            Column("id", INT), Column("movie_id", INT), Column("company_id", INT),
+            Column("company_type_id", INT), Column("note", TEXT),
+        ]),
+        Table("company_name", [
+            Column("id", INT), Column("name", TEXT), Column("country_code", TEXT),
+        ]),
+        Table("company_type", [Column("id", INT), Column("kind", TEXT)]),
+        Table("movie_info", [
+            Column("id", INT), Column("movie_id", INT), Column("info_type_id", INT),
+            Column("info", TEXT), Column("note", TEXT),
+        ]),
+        Table("movie_info_idx", [
+            Column("id", INT), Column("movie_id", INT), Column("info_type_id", INT),
+            Column("info", TEXT),
+        ]),
+        Table("info_type", [Column("id", INT), Column("info", TEXT)]),
+        Table("movie_keyword", [
+            Column("id", INT), Column("movie_id", INT), Column("keyword_id", INT),
+        ]),
+        Table("keyword", [Column("id", INT), Column("keyword", TEXT)]),
+        Table("movie_link", [
+            Column("id", INT), Column("movie_id", INT), Column("linked_movie_id", INT),
+            Column("link_type_id", INT),
+        ]),
+        Table("link_type", [Column("id", INT), Column("link", TEXT)]),
+        Table("cast_info", [
+            Column("id", INT), Column("movie_id", INT), Column("person_id", INT),
+            Column("person_role_id", INT), Column("role_id", INT), Column("note", TEXT),
+            Column("nr_order", INT),
+        ]),
+        Table("role_type", [Column("id", INT), Column("role", TEXT)]),
+        Table("name", [
+            Column("id", INT), Column("name", TEXT), Column("gender", TEXT),
+            Column("name_pcode_cf", TEXT),
+        ]),
+        Table("aka_name", [
+            Column("id", INT), Column("person_id", INT), Column("name", TEXT),
+        ]),
+        Table("char_name", [Column("id", INT), Column("name", TEXT)]),
+        Table("aka_title", [
+            Column("id", INT), Column("movie_id", INT), Column("title", TEXT),
+            Column("kind_id", INT),
+        ]),
+        Table("complete_cast", [
+            Column("id", INT), Column("movie_id", INT), Column("subject_id", INT),
+            Column("status_id", INT),
+        ]),
+        Table("comp_cast_type", [Column("id", INT), Column("kind", TEXT)]),
+        Table("person_info", [
+            Column("id", INT), Column("person_id", INT), Column("info_type_id", INT),
+            Column("info", TEXT), Column("note", TEXT),
+        ]),
+    ]
+    foreign = [
+        ForeignKey("title", "kind_id", "kind_type", "id"),
+        ForeignKey("movie_companies", "movie_id", "title", "id"),
+        ForeignKey("movie_companies", "company_id", "company_name", "id"),
+        ForeignKey("movie_companies", "company_type_id", "company_type", "id"),
+        ForeignKey("movie_info", "movie_id", "title", "id"),
+        ForeignKey("movie_info", "info_type_id", "info_type", "id"),
+        ForeignKey("movie_info_idx", "movie_id", "title", "id"),
+        ForeignKey("movie_info_idx", "info_type_id", "info_type", "id"),
+        ForeignKey("movie_keyword", "movie_id", "title", "id"),
+        ForeignKey("movie_keyword", "keyword_id", "keyword", "id"),
+        ForeignKey("movie_link", "movie_id", "title", "id"),
+        ForeignKey("movie_link", "linked_movie_id", "title", "id"),
+        ForeignKey("movie_link", "link_type_id", "link_type", "id"),
+        ForeignKey("cast_info", "movie_id", "title", "id"),
+        ForeignKey("cast_info", "person_id", "name", "id"),
+        ForeignKey("cast_info", "person_role_id", "char_name", "id"),
+        ForeignKey("cast_info", "role_id", "role_type", "id"),
+        ForeignKey("aka_name", "person_id", "name", "id"),
+        ForeignKey("aka_title", "movie_id", "title", "id"),
+        ForeignKey("aka_title", "kind_id", "kind_type", "id"),
+        ForeignKey("complete_cast", "movie_id", "title", "id"),
+        ForeignKey("complete_cast", "subject_id", "comp_cast_type", "id"),
+        ForeignKey("complete_cast", "status_id", "comp_cast_type", "id"),
+        ForeignKey("person_info", "person_id", "name", "id"),
+        ForeignKey("person_info", "info_type_id", "info_type", "id"),
+    ]
+    schema = Schema("imdb", tables, foreign)
+
+    # Index every foreign-key column (as the JOB setup script does) ...
+    for fk in schema.foreign_keys:
+        schema.table(fk.child_table).add_index(fk.child_column)
+    # ... plus Balsa's two additional indexes (already covered above, but kept
+    # explicit so the intent survives refactoring).
+    schema.table("complete_cast").add_index("subject_id")
+    schema.table("complete_cast").add_index("status_id")
+    # Secondary attribute indexes used by several JOB filter predicates.
+    schema.table("title").add_index("production_year")
+    schema.table("title").add_index("kind_id")
+    return schema
+
+
+def generate_imdb(
+    scale: float = 1.0,
+    seed: int = 42,
+    config: PostgresConfig | None = None,
+) -> Database:
+    """Generate a synthetic IMDB database.
+
+    ``scale`` = 1.0 produces roughly 2,000 titles / 60,000 total rows, which
+    keeps the full JOB-style workload executable in seconds while preserving
+    skew and fan-out variance.  Increase the scale for larger experiments.
+    """
+    rng = np.random.default_rng(seed)
+    schema = imdb_schema()
+
+    n_title = max(200, int(2000 * scale))
+    n_person = max(300, int(3000 * scale))
+    n_company = max(60, int(400 * scale))
+    n_char = max(200, int(2500 * scale))
+    n_keyword = min(1000, max(50, int(400 * scale)))
+
+    title_ids = primary_keys(n_title)
+    person_ids = primary_keys(n_person)
+    company_ids = primary_keys(n_company)
+    char_ids = primary_keys(n_char)
+    keyword_ids = primary_keys(n_keyword)
+
+    tables: dict[str, TableData] = {}
+
+    def add(name: str, columns: dict[str, np.ndarray], dicts: dict[str, list[str]] | None = None) -> None:
+        tables[name] = TableData(
+            table=schema.table(name), columns=columns, dictionaries=dicts or {}
+        )
+
+    # -- small dimension tables ------------------------------------------------
+    add("kind_type", {
+        "id": primary_keys(len(KIND_TYPES)),
+        "kind": np.arange(len(KIND_TYPES), dtype=np.int64),
+    }, {"kind": list(KIND_TYPES)})
+    add("company_type", {
+        "id": primary_keys(len(COMPANY_TYPES)),
+        "kind": np.arange(len(COMPANY_TYPES), dtype=np.int64),
+    }, {"kind": list(COMPANY_TYPES)})
+    add("info_type", {
+        "id": primary_keys(len(INFO_TYPES)),
+        "info": np.arange(len(INFO_TYPES), dtype=np.int64),
+    }, {"info": list(INFO_TYPES)})
+    add("link_type", {
+        "id": primary_keys(len(LINK_TYPES)),
+        "link": np.arange(len(LINK_TYPES), dtype=np.int64),
+    }, {"link": list(LINK_TYPES)})
+    add("role_type", {
+        "id": primary_keys(len(ROLE_TYPES)),
+        "role": np.arange(len(ROLE_TYPES), dtype=np.int64),
+    }, {"role": list(ROLE_TYPES)})
+    add("comp_cast_type", {
+        "id": primary_keys(len(COMP_CAST_TYPES)),
+        "kind": np.arange(len(COMP_CAST_TYPES), dtype=np.int64),
+    }, {"kind": list(COMP_CAST_TYPES)})
+    add("keyword", {
+        "id": keyword_ids,
+        "keyword": np.arange(n_keyword, dtype=np.int64) % len(KEYWORD_POOL)
+        if n_keyword <= len(KEYWORD_POOL)
+        else np.arange(n_keyword, dtype=np.int64),
+    }, {
+        "keyword": list(KEYWORD_POOL)
+        if n_keyword <= len(KEYWORD_POOL)
+        else KEYWORD_POOL + [f"keyword-{i:05d}" for i in range(n_keyword - len(KEYWORD_POOL))]
+    })
+    # make keyword codes point at themselves when the pool was extended
+    if n_keyword > len(KEYWORD_POOL):
+        tables["keyword"].columns["keyword"] = np.arange(n_keyword, dtype=np.int64)
+
+    # -- entity tables -----------------------------------------------------------
+    title_dict = pooled_name_dictionary("Movie", min(n_title, 4000), TITLE_TOKENS)
+    add("title", {
+        "id": title_ids,
+        "title": dictionary_column(rng, title_dict, n_title, skew=0.4),
+        "kind_id": categorical_column(rng, len(KIND_TYPES), n_title, skew=1.2),
+        "production_year": year_column(rng, n_title),
+        "season_nr": np.where(
+            rng.random(n_title) < 0.15,
+            rng.integers(1, 15, n_title, dtype=np.int64),
+            np.full(n_title, -(2**31), dtype=np.int64),
+        ),
+        "episode_nr": np.where(
+            rng.random(n_title) < 0.15,
+            rng.integers(1, 40, n_title, dtype=np.int64),
+            np.full(n_title, -(2**31), dtype=np.int64),
+        ),
+        "imdb_index": dictionary_column(rng, ["I", "II", "III", "IV"], n_title, null_frac=0.85),
+    }, {"title": title_dict, "imdb_index": ["I", "II", "III", "IV"]})
+
+    company_dict = pooled_name_dictionary("Studio", n_company, ["Film", "Pictures", "Warner", "Polygram", "Entertainment"])
+    add("company_name", {
+        "id": company_ids,
+        "name": np.arange(n_company, dtype=np.int64),
+        "country_code": dictionary_column(rng, COUNTRY_CODES, n_company, skew=1.3, null_frac=0.05),
+    }, {"name": company_dict, "country_code": list(COUNTRY_CODES)})
+
+    name_dict = pooled_name_dictionary("Person", min(n_person, 6000), NAME_TOKENS)
+    add("name", {
+        "id": person_ids,
+        "name": dictionary_column(rng, name_dict, n_person, skew=0.3),
+        "gender": dictionary_column(rng, GENDERS, n_person, skew=0.8, null_frac=0.1),
+        "name_pcode_cf": dictionary_column(rng, ["A5362", "B6525", "C6252", "D1234"], n_person, null_frac=0.3),
+    }, {"name": name_dict, "gender": list(GENDERS), "name_pcode_cf": ["A5362", "B6525", "C6252", "D1234"]})
+
+    char_dict = pooled_name_dictionary("Character", min(n_char, 5000), CHAR_TOKENS)
+    add("char_name", {
+        "id": char_ids,
+        "name": dictionary_column(rng, char_dict, n_char, skew=0.3),
+    }, {"name": char_dict})
+
+    # -- fact tables -------------------------------------------------------------
+    n_mc = int(2.5 * n_title)
+    add("movie_companies", {
+        "id": primary_keys(n_mc),
+        "movie_id": correlated_foreign_keys(rng, title_ids, n_mc, skew=1.1, correlation=0.4),
+        "company_id": foreign_keys(rng, company_ids, n_mc, skew=1.3),
+        "company_type_id": categorical_column(rng, len(COMPANY_TYPES), n_mc, skew=1.1),
+        "note": dictionary_column(rng, COMPANY_NOTE_POOL, n_mc, skew=1.2, null_frac=0.3),
+    }, {"note": list(COMPANY_NOTE_POOL)})
+
+    n_mi = int(5.0 * n_title)
+    add("movie_info", {
+        "id": primary_keys(n_mi),
+        "movie_id": correlated_foreign_keys(rng, title_ids, n_mi, skew=1.05, correlation=0.5),
+        "info_type_id": categorical_column(rng, len(INFO_TYPES), n_mi, skew=1.0),
+        "info": dictionary_column(rng, MOVIE_INFO_POOL, n_mi, skew=1.1),
+        "note": dictionary_column(rng, COMPANY_NOTE_POOL, n_mi, skew=1.0, null_frac=0.6),
+    }, {"info": list(MOVIE_INFO_POOL), "note": list(COMPANY_NOTE_POOL)})
+
+    n_mii = int(2.0 * n_title)
+    rating_values = [f"{x / 10:.1f}" for x in range(10, 100)]
+    add("movie_info_idx", {
+        "id": primary_keys(n_mii),
+        "movie_id": correlated_foreign_keys(rng, title_ids, n_mii, skew=1.0, correlation=0.3),
+        "info_type_id": categorical_column(rng, len(INFO_TYPES), n_mii, skew=0.9),
+        "info": dictionary_column(rng, rating_values, n_mii, skew=0.2),
+    }, {"info": list(rating_values)})
+
+    n_mk = int(4.0 * n_title)
+    add("movie_keyword", {
+        "id": primary_keys(n_mk),
+        "movie_id": correlated_foreign_keys(rng, title_ids, n_mk, skew=1.15, correlation=0.5),
+        "keyword_id": foreign_keys(rng, keyword_ids, n_mk, skew=1.4),
+    })
+
+    n_ml = max(20, int(0.2 * n_title))
+    add("movie_link", {
+        "id": primary_keys(n_ml),
+        "movie_id": foreign_keys(rng, title_ids, n_ml, skew=1.2),
+        "linked_movie_id": foreign_keys(rng, title_ids, n_ml, skew=1.2),
+        "link_type_id": categorical_column(rng, len(LINK_TYPES), n_ml, skew=1.1),
+    })
+
+    n_ci = int(10.0 * n_title)
+    add("cast_info", {
+        "id": primary_keys(n_ci),
+        "movie_id": correlated_foreign_keys(rng, title_ids, n_ci, skew=1.2, correlation=0.6),
+        "person_id": foreign_keys(rng, person_ids, n_ci, skew=1.3),
+        "person_role_id": foreign_keys(rng, char_ids, n_ci, skew=1.1, null_frac=0.4),
+        "role_id": categorical_column(rng, len(ROLE_TYPES), n_ci, skew=1.0),
+        "note": dictionary_column(rng, CAST_NOTE_POOL, n_ci, skew=1.0, null_frac=0.4),
+        "nr_order": rng.integers(1, 60, n_ci, dtype=np.int64),
+    }, {"note": list(CAST_NOTE_POOL)})
+
+    n_cc = max(20, int(0.5 * n_title))
+    add("complete_cast", {
+        "id": primary_keys(n_cc),
+        "movie_id": foreign_keys(rng, title_ids, n_cc, skew=1.0),
+        "subject_id": categorical_column(rng, 2, n_cc),  # cast / crew
+        "status_id": categorical_column(rng, len(COMP_CAST_TYPES) - 2, n_cc, start=3),
+    })
+
+    n_an = max(20, int(0.4 * n_person))
+    add("aka_name", {
+        "id": primary_keys(n_an),
+        "person_id": foreign_keys(rng, person_ids, n_an, skew=1.2),
+        "name": dictionary_column(rng, name_dict, n_an, skew=0.3),
+    }, {"name": name_dict})
+
+    n_at = max(20, int(0.3 * n_title))
+    add("aka_title", {
+        "id": primary_keys(n_at),
+        "movie_id": foreign_keys(rng, title_ids, n_at, skew=1.1),
+        "title": dictionary_column(rng, title_dict, n_at, skew=0.4),
+        "kind_id": categorical_column(rng, len(KIND_TYPES), n_at, skew=1.2),
+    }, {"title": title_dict})
+
+    n_pi = int(2.0 * n_person)
+    add("person_info", {
+        "id": primary_keys(n_pi),
+        "person_id": foreign_keys(rng, person_ids, n_pi, skew=1.2),
+        "info_type_id": categorical_column(rng, len(INFO_TYPES), n_pi, skew=1.0),
+        "info": dictionary_column(rng, MOVIE_INFO_POOL, n_pi, skew=1.0),
+        "note": dictionary_column(rng, CAST_NOTE_POOL, n_pi, skew=1.0, null_frac=0.5),
+    }, {"info": list(MOVIE_INFO_POOL), "note": list(CAST_NOTE_POOL)})
+
+    return Database(schema=schema, tables=tables, config=config, name="imdb")
+
+
+def generate_imdb_half(
+    scale: float = 1.0,
+    seed: int = 42,
+    config: PostgresConfig | None = None,
+    title_fraction: float = 0.5,
+    sample_seed: int = 7,
+) -> Database:
+    """Generate the IMDB-50% database used by the covariate-shift study.
+
+    Rows of ``title`` are Bernoulli-sampled at ``title_fraction`` and the
+    removal cascades through every foreign key, so all movie- and cast-related
+    tables shrink accordingly while dimension tables stay untouched
+    (Section 8.3 of the paper).
+    """
+    full = generate_imdb(scale=scale, seed=seed, config=config)
+    return full.sample_copy(
+        {"title": title_fraction},
+        cascade_via_foreign_keys=True,
+        seed=sample_seed,
+        name_suffix="-50",
+    )

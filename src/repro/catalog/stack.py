@@ -1,0 +1,234 @@
+"""StackExchange-style schema and synthetic generator for the STACK workload.
+
+STACK (introduced with Bao) queries a StackExchange dump with tables for
+sites, users, accounts, questions, answers, comments, badges, tags and links.
+Compared to JOB the queries join fewer tables, which is why the paper observes
+e.g. much lower LEON inference times on STACK (Section 8.2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.datagen import (
+    categorical_column,
+    correlated_foreign_keys,
+    dictionary_column,
+    foreign_keys,
+    numeric_column,
+    pooled_name_dictionary,
+    primary_keys,
+)
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Schema, Table
+from repro.config import PostgresConfig
+from repro.storage.database import Database
+from repro.storage.table_data import TableData
+
+INT = ColumnType.INTEGER
+TEXT = ColumnType.TEXT
+
+SITE_NAMES = [
+    "stackoverflow", "math", "superuser", "askubuntu", "serverfault",
+    "english", "physics", "tex", "gis", "apple", "unix", "stats",
+]
+TAG_NAMES = [
+    "python", "javascript", "java", "c#", "postgresql", "sql", "android",
+    "c++", "php", "html", "machine-learning", "linux", "git", "docker",
+    "numpy", "pandas", "regex", "performance", "optimization", "security",
+]
+BADGE_NAMES = [
+    "Nice Question", "Nice Answer", "Good Answer", "Famous Question",
+    "Popular Question", "Notable Question", "Teacher", "Student", "Editor",
+    "Supporter", "Critic", "Scholar", "Necromancer", "Yearling",
+]
+
+
+def stack_schema() -> Schema:
+    """Build the 10-table StackExchange schema used by the STACK workload."""
+    tables = [
+        Table("site", [Column("id", INT), Column("site_name", TEXT)]),
+        Table("account", [
+            Column("id", INT), Column("display_name", TEXT), Column("website_url", TEXT),
+        ]),
+        Table("so_user", [
+            Column("id", INT), Column("site_id", INT), Column("account_id", INT),
+            Column("reputation", INT), Column("creation_date", INT),
+        ]),
+        Table("question", [
+            Column("id", INT), Column("site_id", INT), Column("owner_user_id", INT),
+            Column("score", INT), Column("view_count", INT),
+            Column("favorite_count", INT), Column("creation_date", INT),
+        ]),
+        Table("answer", [
+            Column("id", INT), Column("site_id", INT), Column("question_id", INT),
+            Column("owner_user_id", INT), Column("score", INT),
+            Column("creation_date", INT),
+        ]),
+        Table("comment", [
+            Column("id", INT), Column("site_id", INT), Column("post_id", INT),
+            Column("user_id", INT), Column("score", INT), Column("date", INT),
+        ]),
+        Table("badge", [
+            Column("id", INT), Column("site_id", INT), Column("user_id", INT),
+            Column("name", TEXT), Column("date", INT),
+        ]),
+        Table("tag", [
+            Column("id", INT), Column("site_id", INT), Column("name", TEXT),
+        ]),
+        Table("tag_question", [
+            Column("id", INT), Column("site_id", INT), Column("question_id", INT),
+            Column("tag_id", INT),
+        ]),
+        Table("post_link", [
+            Column("id", INT), Column("site_id", INT), Column("post_id_from", INT),
+            Column("post_id_to", INT), Column("link_type_id", INT), Column("date", INT),
+        ]),
+    ]
+    foreign = [
+        ForeignKey("so_user", "site_id", "site", "id"),
+        ForeignKey("so_user", "account_id", "account", "id"),
+        ForeignKey("question", "site_id", "site", "id"),
+        ForeignKey("question", "owner_user_id", "so_user", "id"),
+        ForeignKey("answer", "site_id", "site", "id"),
+        ForeignKey("answer", "question_id", "question", "id"),
+        ForeignKey("answer", "owner_user_id", "so_user", "id"),
+        ForeignKey("comment", "site_id", "site", "id"),
+        ForeignKey("comment", "post_id", "question", "id"),
+        ForeignKey("comment", "user_id", "so_user", "id"),
+        ForeignKey("badge", "site_id", "site", "id"),
+        ForeignKey("badge", "user_id", "so_user", "id"),
+        ForeignKey("tag", "site_id", "site", "id"),
+        ForeignKey("tag_question", "site_id", "site", "id"),
+        ForeignKey("tag_question", "question_id", "question", "id"),
+        ForeignKey("tag_question", "tag_id", "tag", "id"),
+        ForeignKey("post_link", "site_id", "site", "id"),
+        ForeignKey("post_link", "post_id_from", "question", "id"),
+        ForeignKey("post_link", "post_id_to", "question", "id"),
+    ]
+    schema = Schema("stack", tables, foreign)
+    for fk in schema.foreign_keys:
+        schema.table(fk.child_table).add_index(fk.child_column)
+    schema.table("so_user").add_index("reputation")
+    schema.table("question").add_index("score")
+    schema.table("question").add_index("creation_date")
+    return schema
+
+
+def generate_stack(
+    scale: float = 1.0,
+    seed: int = 1337,
+    config: PostgresConfig | None = None,
+) -> Database:
+    """Generate a synthetic StackExchange database.
+
+    ``scale`` = 1.0 produces roughly 1,500 questions / 30,000 total rows.
+    Question popularity (answers, comments, votes) is heavily skewed, which
+    gives the STACK queries the same "a few hot entities dominate" difficulty
+    as the real dump.
+    """
+    rng = np.random.default_rng(seed)
+    schema = stack_schema()
+
+    n_site = len(SITE_NAMES)
+    n_account = max(100, int(800 * scale))
+    n_user = max(150, int(1200 * scale))
+    n_question = max(200, int(1500 * scale))
+    n_answer = int(2.2 * n_question)
+    n_comment = int(3.5 * n_question)
+    n_badge = int(2.0 * n_user)
+    n_tag = len(TAG_NAMES)
+    n_tag_question = int(2.8 * n_question)
+    n_post_link = max(20, int(0.25 * n_question))
+
+    site_ids = primary_keys(n_site)
+    account_ids = primary_keys(n_account)
+    user_ids = primary_keys(n_user)
+    question_ids = primary_keys(n_question)
+    tag_ids = primary_keys(n_tag)
+
+    tables: dict[str, TableData] = {}
+
+    def add(name: str, columns: dict[str, np.ndarray], dicts: dict[str, list[str]] | None = None) -> None:
+        tables[name] = TableData(
+            table=schema.table(name), columns=columns, dictionaries=dicts or {}
+        )
+
+    add("site", {
+        "id": site_ids,
+        "site_name": np.arange(n_site, dtype=np.int64),
+    }, {"site_name": list(SITE_NAMES)})
+
+    account_dict = pooled_name_dictionary("user", n_account, ["dev", "coder", "guru", "ninja"])
+    add("account", {
+        "id": account_ids,
+        "display_name": np.arange(n_account, dtype=np.int64),
+        "website_url": dictionary_column(rng, ["github.com", "gitlab.com", "personal.blog", ""], n_account, null_frac=0.5),
+    }, {"display_name": account_dict, "website_url": ["github.com", "gitlab.com", "personal.blog", ""]})
+
+    add("so_user", {
+        "id": user_ids,
+        "site_id": categorical_column(rng, n_site, n_user, skew=1.4),
+        "account_id": foreign_keys(rng, account_ids, n_user, skew=1.1),
+        "reputation": numeric_column(rng, n_user, low=1, high=500000, skew=4.0),
+        "creation_date": numeric_column(rng, n_user, low=2008, high=2023),
+    })
+
+    add("question", {
+        "id": question_ids,
+        "site_id": categorical_column(rng, n_site, n_question, skew=1.4),
+        "owner_user_id": foreign_keys(rng, user_ids, n_question, skew=1.3),
+        "score": numeric_column(rng, n_question, low=-5, high=2000, skew=5.0),
+        "view_count": numeric_column(rng, n_question, low=1, high=1000000, skew=5.0),
+        "favorite_count": numeric_column(rng, n_question, low=0, high=500, skew=5.0, null_frac=0.3),
+        "creation_date": numeric_column(rng, n_question, low=2008, high=2023),
+    })
+
+    add("answer", {
+        "id": primary_keys(n_answer),
+        "site_id": categorical_column(rng, n_site, n_answer, skew=1.4),
+        "question_id": correlated_foreign_keys(rng, question_ids, n_answer, skew=1.3, correlation=0.4),
+        "owner_user_id": foreign_keys(rng, user_ids, n_answer, skew=1.3),
+        "score": numeric_column(rng, n_answer, low=-5, high=3000, skew=5.0),
+        "creation_date": numeric_column(rng, n_answer, low=2008, high=2023),
+    })
+
+    add("comment", {
+        "id": primary_keys(n_comment),
+        "site_id": categorical_column(rng, n_site, n_comment, skew=1.4),
+        "post_id": correlated_foreign_keys(rng, question_ids, n_comment, skew=1.3, correlation=0.4),
+        "user_id": foreign_keys(rng, user_ids, n_comment, skew=1.4),
+        "score": numeric_column(rng, n_comment, low=0, high=300, skew=5.0),
+        "date": numeric_column(rng, n_comment, low=2008, high=2023),
+    })
+
+    add("badge", {
+        "id": primary_keys(n_badge),
+        "site_id": categorical_column(rng, n_site, n_badge, skew=1.4),
+        "user_id": foreign_keys(rng, user_ids, n_badge, skew=1.4),
+        "name": dictionary_column(rng, BADGE_NAMES, n_badge, skew=1.2),
+        "date": numeric_column(rng, n_badge, low=2008, high=2023),
+    }, {"name": list(BADGE_NAMES)})
+
+    add("tag", {
+        "id": tag_ids,
+        "site_id": categorical_column(rng, n_site, n_tag, skew=1.0),
+        "name": np.arange(n_tag, dtype=np.int64),
+    }, {"name": list(TAG_NAMES)})
+
+    add("tag_question", {
+        "id": primary_keys(n_tag_question),
+        "site_id": categorical_column(rng, n_site, n_tag_question, skew=1.4),
+        "question_id": correlated_foreign_keys(rng, question_ids, n_tag_question, skew=1.2, correlation=0.4),
+        "tag_id": foreign_keys(rng, tag_ids, n_tag_question, skew=1.4),
+    })
+
+    add("post_link", {
+        "id": primary_keys(n_post_link),
+        "site_id": categorical_column(rng, n_site, n_post_link, skew=1.4),
+        "post_id_from": foreign_keys(rng, question_ids, n_post_link, skew=1.2),
+        "post_id_to": foreign_keys(rng, question_ids, n_post_link, skew=1.2),
+        "link_type_id": categorical_column(rng, 2, n_post_link),
+        "date": numeric_column(rng, n_post_link, low=2008, high=2023),
+    })
+
+    return Database(schema=schema, tables=tables, config=config, name="stack")

@@ -1,0 +1,248 @@
+"""DBMS configuration knobs and the named presets from Table 2 of the paper.
+
+The simulated DBMS honours the same configuration surface that the paper
+compares across publications: join-order parameters (``geqo``,
+``geqo_threshold``, ``join_collapse_limit``), working-memory parameters
+(``work_mem``, ``shared_buffers``, ``temp_buffers``, ``effective_cache_size``),
+parallelization parameters and the scan-type switches
+(``enable_bitmapscan`` / ``enable_tidscan``).
+
+:data:`CONFIG_PRESETS` holds the per-paper configurations of Table 2 so that
+the table can be regenerated programmatically (see
+``repro.experiments.table2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterator, Mapping
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Size of one simulated heap/index page in bytes (PostgreSQL default).
+PAGE_SIZE_BYTES = 8 * KB
+
+
+@dataclass(frozen=True)
+class PostgresConfig:
+    """Configuration of the simulated PostgreSQL instance.
+
+    All sizes are expressed in bytes; helper properties expose the page-count
+    view used by the cost model and buffer pool.  The defaults correspond to
+    PostgreSQL's stock configuration (first column of Table 2).
+    """
+
+    # --- join order -------------------------------------------------------
+    geqo: bool = True
+    geqo_threshold: int = 12
+    join_collapse_limit: int = 8
+    from_collapse_limit: int = 8
+
+    # --- working memory ---------------------------------------------------
+    work_mem: int = 4 * MB
+    shared_buffers: int = 128 * MB
+    temp_buffers: int = 8 * MB
+    effective_cache_size: int = 4 * GB
+
+    # --- parallelization --------------------------------------------------
+    max_parallel_workers: int = 8
+    max_parallel_workers_per_gather: int = 8
+    max_worker_processes: int = 2
+
+    # --- planner operator switches ----------------------------------------
+    enable_seqscan: bool = True
+    enable_indexscan: bool = True
+    enable_bitmapscan: bool = True
+    enable_tidscan: bool = True
+    enable_nestloop: bool = True
+    enable_hashjoin: bool = True
+    enable_mergejoin: bool = True
+
+    # --- cost model constants (PostgreSQL defaults) ------------------------
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    parallel_setup_cost: float = 1000.0
+    parallel_tuple_cost: float = 0.1
+
+    # --- execution / measurement ------------------------------------------
+    statement_timeout_ms: float = 0.0  #: 0 disables the timeout.
+    autovacuum: bool = True
+    #: Whether the planner allows bushy join trees (PostgreSQL does).
+    enable_bushy_plans: bool = True
+    #: Whether the executor strictly follows planner hints.  When ``False``
+    #: the engine models PostgreSQL's "dynamic optimization" behaviour and may
+    #: silently replace a hinted operator that is clearly infeasible.
+    strict_hints: bool = True
+    #: Amount of physical RAM of the simulated host (Table 2, first row).
+    host_ram: int = 64 * GB
+
+    # ----------------------------------------------------------------------
+    @property
+    def shared_buffer_pages(self) -> int:
+        """Number of 8 KB pages the buffer pool can hold."""
+        return max(1, self.shared_buffers // PAGE_SIZE_BYTES)
+
+    @property
+    def effective_cache_pages(self) -> int:
+        """Number of pages assumed cached by the OS + PostgreSQL combined."""
+        return max(1, self.effective_cache_size // PAGE_SIZE_BYTES)
+
+    @property
+    def work_mem_tuples(self) -> int:
+        """Rough number of 100-byte tuples that fit into ``work_mem``."""
+        return max(1, self.work_mem // 100)
+
+    def with_overrides(self, **overrides: Any) -> "PostgresConfig":
+        """Return a copy of this configuration with selected knobs replaced."""
+        return replace(self, **overrides)
+
+    def geqo_enabled_for(self, n_relations: int) -> bool:
+        """Whether GEQO would plan a join of ``n_relations`` base relations."""
+        return self.geqo and n_relations >= self.geqo_threshold
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dictionary of every knob, suitable for reports and tests."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff_from_default(self) -> dict[str, tuple[Any, Any]]:
+        """Knobs that deviate from PostgreSQL defaults as ``{name: (default, value)}``."""
+        default = PostgresConfig()
+        out: dict[str, tuple[Any, Any]] = {}
+        for f in fields(self):
+            dval = getattr(default, f.name)
+            val = getattr(self, f.name)
+            if val != dval:
+                out[f.name] = (dval, val)
+        return out
+
+
+def format_bytes(n_bytes: int) -> str:
+    """Human readable rendering of a byte size (``4 GB``, ``128 MB``, ...)."""
+    if n_bytes % GB == 0 and n_bytes >= GB:
+        return f"{n_bytes // GB} GB"
+    if n_bytes % MB == 0 and n_bytes >= MB:
+        return f"{n_bytes // MB} MB"
+    if n_bytes % KB == 0 and n_bytes >= KB:
+        return f"{n_bytes // KB} KB"
+    return f"{n_bytes} B"
+
+
+# ---------------------------------------------------------------------------
+# Named presets from Table 2 of the paper.
+# ---------------------------------------------------------------------------
+
+#: PostgreSQL stock configuration (the "Default Values" column).
+DEFAULT_CONFIG = PostgresConfig()
+
+#: Configuration suggested by the Join Order Benchmark paper (Leis et al.).
+JOB_LEIS_CONFIG = DEFAULT_CONFIG.with_overrides(
+    geqo_threshold=18,
+    work_mem=2 * GB,
+    shared_buffers=4 * GB,
+    effective_cache_size=32 * GB,
+    host_ram=64 * GB,
+)
+
+#: Configuration used by Bao (Marcus et al.).
+BAO_CONFIG = DEFAULT_CONFIG.with_overrides(
+    shared_buffers=4 * GB,
+    host_ram=15 * GB,
+)
+
+#: Configuration used by Balsa and LEON (identical per Table 2).
+BALSA_LEON_CONFIG = DEFAULT_CONFIG.with_overrides(
+    geqo=False,
+    work_mem=4 * GB,
+    shared_buffers=32 * GB,
+    temp_buffers=32 * GB,
+    max_worker_processes=8,
+    enable_bitmapscan=False,
+    enable_tidscan=False,
+    host_ram=64 * GB,
+)
+
+#: Configuration used by LOGER.
+LOGER_CONFIG = DEFAULT_CONFIG.with_overrides(
+    geqo=False,
+    shared_buffers=64 * GB,
+    max_parallel_workers=1,
+    max_parallel_workers_per_gather=1,
+    host_ram=256 * GB,
+)
+
+#: Configuration used by Lero.
+LERO_CONFIG = DEFAULT_CONFIG.with_overrides(
+    geqo=False,
+    max_parallel_workers=0,
+    max_parallel_workers_per_gather=0,
+    host_ram=512 * GB,
+)
+
+#: The paper's own framework configuration (Section 8.1.1): Balsa's memory
+#: settings, bitmap/tid scans re-enabled, effective_cache_size raised to 32 GB,
+#: GEQO left on only when PostgreSQL fully controls execution.
+OUR_FRAMEWORK_CONFIG = DEFAULT_CONFIG.with_overrides(
+    geqo=True,
+    work_mem=4 * GB,
+    shared_buffers=32 * GB,
+    temp_buffers=32 * GB,
+    effective_cache_size=32 * GB,
+    max_worker_processes=8,
+    autovacuum=False,
+    host_ram=64 * GB,
+)
+
+#: Laptop-scale configuration used by the test-suite and the examples: small
+#: buffers so cold/hot cache effects are visible on synthetic data.
+SIMULATION_CONFIG = DEFAULT_CONFIG.with_overrides(
+    work_mem=1 * MB,
+    shared_buffers=8 * MB,
+    effective_cache_size=32 * MB,
+    autovacuum=False,
+)
+
+#: Ordered mapping of preset name -> configuration, mirroring Table 2 columns.
+CONFIG_PRESETS: Mapping[str, PostgresConfig] = {
+    "default": DEFAULT_CONFIG,
+    "job_leis": JOB_LEIS_CONFIG,
+    "bao": BAO_CONFIG,
+    "balsa_leon": BALSA_LEON_CONFIG,
+    "loger": LOGER_CONFIG,
+    "lero": LERO_CONFIG,
+    "our_framework": OUR_FRAMEWORK_CONFIG,
+}
+
+#: Human readable column titles for Table 2 regeneration.
+PRESET_TITLES: Mapping[str, str] = {
+    "default": "PostgreSQL defaults",
+    "job_leis": "JOB (Leis et al.)",
+    "bao": "Bao",
+    "balsa_leon": "Balsa, LEON",
+    "loger": "LOGER",
+    "lero": "Lero",
+    "our_framework": "Our Framework",
+}
+
+
+def get_preset(name: str) -> PostgresConfig:
+    """Look up a named preset from Table 2.
+
+    Raises:
+        KeyError: if ``name`` is not one of :data:`CONFIG_PRESETS`.
+    """
+    try:
+        return CONFIG_PRESETS[name]
+    except KeyError as exc:  # pragma: no cover - trivial
+        raise KeyError(
+            f"unknown config preset {name!r}; available: {sorted(CONFIG_PRESETS)}"
+        ) from exc
+
+
+def iter_presets() -> Iterator[tuple[str, PostgresConfig]]:
+    """Iterate over ``(name, config)`` pairs in Table 2 column order."""
+    return iter(CONFIG_PRESETS.items())

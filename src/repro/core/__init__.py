@@ -1,0 +1,48 @@
+"""The end-to-end benchmarking framework — the paper's primary contribution.
+
+The framework equalizes every stage of the ML pipeline around learned query
+optimizers:
+
+* :mod:`repro.core.splits` — the three dataset-split sampling strategies
+  (leave-one-out, random, base-query; Section 7.2 / Figure 3),
+* :mod:`repro.core.execution_protocol` — the hot-cache measurement protocol
+  (execute k times, report the third run; Sections 7.3 and 8.6 / Figure 7),
+* :mod:`repro.core.experiment` — training and evaluating optimizers under
+  identical conditions with the paper's timing decomposition (inference,
+  planning, execution, end-to-end; Section 8.2),
+* :mod:`repro.core.metrics` / :mod:`repro.core.stats` — aggregation and the
+  statistical tests used throughout Section 8,
+* :mod:`repro.core.covariate_shift` — the IMDB-50% study (Section 8.3),
+* :mod:`repro.core.ablations` — scan-type, GEQO and plan-shape ablations
+  (Sections 8.4, 8.5, 8.7),
+* :mod:`repro.core.report` — plain-text/markdown rendering of result tables.
+"""
+
+from repro.core.splits import DatasetSplit, SplitSampling, generate_split, generate_splits
+from repro.core.metrics import QueryTiming, MethodRunResult, workload_summary
+from repro.core.execution_protocol import ExecutionProtocol, RobustnessMeasurement
+from repro.core.experiment import ExperimentRunner
+from repro.core.stats import (
+    bootstrap_confidence_interval,
+    linear_regression_r2,
+    mann_whitney_u_test,
+)
+from repro.core.report import format_table, to_markdown
+
+__all__ = [
+    "DatasetSplit",
+    "SplitSampling",
+    "generate_split",
+    "generate_splits",
+    "QueryTiming",
+    "MethodRunResult",
+    "workload_summary",
+    "ExecutionProtocol",
+    "RobustnessMeasurement",
+    "ExperimentRunner",
+    "bootstrap_confidence_interval",
+    "linear_regression_r2",
+    "mann_whitney_u_test",
+    "format_table",
+    "to_markdown",
+]

@@ -1,0 +1,166 @@
+"""The experiment runner: train and evaluate optimizers under equal conditions.
+
+``ExperimentRunner`` is the orchestration layer behind Figures 4, 5 and 6: for
+every (method, split) combination it
+
+1. builds a fresh :class:`LQOEnvironment` on the shared database,
+2. trains the method on the split's training queries (wall-clock accounted as
+   the end-to-end training time of Figure 6),
+3. plans every test query, recording the method's inference time and the
+   DBMS's planning time, and
+4. executes the produced plan under the hot-cache protocol (three executions,
+   third one reported), recording timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.config import PostgresConfig
+from repro.core.metrics import MethodRunResult, QueryTiming
+from repro.core.splits import DatasetSplit
+from repro.errors import ExperimentError
+from repro.lqo.base import LQOEnvironment
+from repro.lqo.registry import create_optimizer, method_info
+from repro.storage.database import Database
+from repro.workloads.workload import BenchmarkQuery, Workload
+
+#: Timeout applied to evaluation executions (milliseconds); generous enough
+#: that only pathological plans hit it, mirroring the paper's handling of
+#: timed-out queries (e.g. LEON on 26b/32b).
+DEFAULT_EVALUATION_TIMEOUT_MS = 60_000.0
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs of the experiment runner (sized for simulation-scale runs)."""
+
+    executions_per_query: int = 3
+    evaluation_timeout_ms: float = DEFAULT_EVALUATION_TIMEOUT_MS
+    cold_start_per_query: bool = True
+    training_runs_per_plan: int = 1
+    optimizer_kwargs: dict[str, dict] = field(default_factory=dict)
+    seed: int = 0
+
+
+class ExperimentRunner:
+    """Runs methods over dataset splits and collects the paper's timing decomposition."""
+
+    def __init__(
+        self,
+        database: Database,
+        workload: Workload,
+        config: PostgresConfig | None = None,
+        experiment_config: ExperimentConfig | None = None,
+    ) -> None:
+        if workload.schema.name != database.schema.name:
+            raise ExperimentError(
+                "workload and database use different schemas "
+                f"({workload.schema.name!r} vs {database.schema.name!r})"
+            )
+        self.database = database
+        self.workload = workload
+        self.db_config = config or database.config
+        self.config = experiment_config or ExperimentConfig()
+
+    # ------------------------------------------------------------------ plumbing
+    def build_environment(self) -> LQOEnvironment:
+        """A fresh optimizer environment bound to the shared database."""
+        return LQOEnvironment(
+            self.database,
+            config=self.db_config,
+            training_runs_per_plan=self.config.training_runs_per_plan,
+            evaluation_runs_per_plan=self.config.executions_per_query,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------ execution
+    def run_method(
+        self,
+        method: str,
+        split: DatasetSplit,
+        train: bool = True,
+    ) -> MethodRunResult:
+        """Train (optionally) and evaluate one method on one split."""
+        info = method_info(method)
+        env = self.build_environment()
+        kwargs = self.config.optimizer_kwargs.get(method, {})
+        optimizer = create_optimizer(method, env, **kwargs)
+
+        train_queries = split.train_queries(self.workload)
+        test_queries = split.test_queries(self.workload)
+
+        if train and optimizer.requires_training:
+            report = optimizer.fit(train_queries)
+        else:
+            report = optimizer.fit([]) if not optimizer.requires_training else None
+
+        result = MethodRunResult(
+            method=method,
+            split_name=split.name,
+            workload_name=self.workload.name,
+            training_time_s=report.training_time_s if report else 0.0,
+            executed_training_plans=report.executed_plans if report else 0,
+        )
+
+        for query in test_queries:
+            result.timings.append(self._evaluate_query(optimizer, env, query, info))
+        return result
+
+    def _evaluate_query(self, optimizer, env: LQOEnvironment, query: BenchmarkQuery, info) -> QueryTiming:
+        planned = optimizer.plan_query(query)
+        measured = env.execute_plan(
+            query.bound,
+            planned.plan,
+            runs=self.config.executions_per_query,
+            timeout_ms=self.config.evaluation_timeout_ms,
+            cold_start=self.config.cold_start_per_query,
+        )
+        inference_ms = planned.inference_time_ms
+        planning_ms = planned.planning_time_ms
+        if optimizer.integrates_with_dbms:
+            # Methods running inside PostgreSQL (Bao, Lero) report their
+            # inference as part of the planning time, as the paper notes for
+            # Figure 4's left panel.
+            planning_ms += inference_ms
+            inference_ms = 0.0
+        return QueryTiming(
+            query_id=query.query_id,
+            method=optimizer.name,
+            inference_time_ms=inference_ms,
+            planning_time_ms=planning_ms,
+            execution_time_ms=measured.reported_ms,
+            timed_out=measured.timed_out,
+            num_joins=query.num_joins,
+            metadata=dict(planned.metadata),
+        )
+
+    def run_comparison(
+        self,
+        methods: Sequence[str],
+        splits: Iterable[DatasetSplit],
+    ) -> list[MethodRunResult]:
+        """Run every method on every split (the Figure 4/5 experiment grid)."""
+        results: list[MethodRunResult] = []
+        for split in splits:
+            for method in methods:
+                results.append(self.run_method(method, split))
+        return results
+
+    # ------------------------------------------------------------------ baselines
+    def run_postgres_only(self, queries: Sequence[BenchmarkQuery] | None = None) -> MethodRunResult:
+        """Evaluate the PostgreSQL baseline on an arbitrary query list (no split)."""
+        env = self.build_environment()
+        optimizer = create_optimizer("postgres", env)
+        optimizer.fit([])
+        queries = list(queries) if queries is not None else self.workload.queries
+        result = MethodRunResult(
+            method="postgres",
+            split_name="full-workload",
+            workload_name=self.workload.name,
+        )
+        info = method_info("postgres")
+        for query in queries:
+            result.timings.append(self._evaluate_query(optimizer, env, query, info))
+        return result

@@ -1,0 +1,97 @@
+"""Plain-text and Markdown rendering of result tables.
+
+Every experiment driver produces lists of dictionaries (one per row); these
+helpers render them in aligned plain text (for terminals and the
+``*_output.txt`` artefacts) or Markdown (for EXPERIMENTS.md style reports).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None) -> list[str]:
+    if columns is not None:
+        return list(columns)
+    seen: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = _columns(rows, columns)
+    rendered = [[_stringify(row.get(col)) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(cols))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_markdown(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as a Markdown table."""
+    if not rows:
+        return f"### {title}\n\n(no rows)" if title else "(no rows)"
+    cols = _columns(rows, columns)
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(cols) + " |")
+    lines.append("|" + "|".join(["---"] * len(cols)) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row.get(col)) for col in cols) + " |")
+    return "\n".join(lines)
+
+
+def format_key_values(values: Mapping[str, object], title: str | None = None) -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    lines = [title] if title else []
+    if not values:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    width = max(len(str(key)) for key in values)
+    for key, value in values.items():
+        lines.append(f"{str(key).ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)
+
+
+def bullet_list(items: Iterable[object], title: str | None = None) -> str:
+    """Render items as a plain-text bullet list."""
+    lines = [title] if title else []
+    for item in items:
+        lines.append(f"  - {item}")
+    if title and len(lines) == 1:
+        lines.append("  (none)")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Dataset splits: leave-one-out, random and base-query sampling (Section 7.2).
+
+The three strategies probe different levels of generalization:
+
+* **Leave One Out Sampling** puts exactly one variant of every base query into
+  the test set; maximal information leakage from the training set, expected to
+  be the easiest split.
+* **Random Sampling** ignores families entirely (80/20 by default).
+* **Base Query Sampling** keeps whole families on one side of the split, so no
+  intra-family structure can leak; expected to be the hardest split.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SplitError
+from repro.workloads.workload import BenchmarkQuery, Workload
+
+
+class SplitSampling(enum.Enum):
+    """The three sampling strategies of Figure 3."""
+
+    LEAVE_ONE_OUT = "leave_one_out"
+    RANDOM = "random"
+    BASE_QUERY = "base_query"
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A train/test split of a workload, by query id."""
+
+    workload_name: str
+    sampling: SplitSampling
+    split_index: int
+    train_ids: tuple[str, ...]
+    test_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.train_ids) & set(self.test_ids)
+        if overlap:
+            raise SplitError(f"train/test overlap: {sorted(overlap)}")
+        if not self.train_ids or not self.test_ids:
+            raise SplitError("both train and test sets must be non-empty")
+
+    @property
+    def name(self) -> str:
+        return f"{self.sampling.value}-{self.split_index}"
+
+    def train_queries(self, workload: Workload) -> list[BenchmarkQuery]:
+        return [workload.by_id(qid) for qid in self.train_ids]
+
+    def test_queries(self, workload: Workload) -> list[BenchmarkQuery]:
+        return [workload.by_id(qid) for qid in self.test_ids]
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload_name}/{self.name}: "
+            f"{len(self.train_ids)} train / {len(self.test_ids)} test queries"
+        )
+
+
+def leave_one_out_split(workload: Workload, seed: int = 0, split_index: int = 0) -> DatasetSplit:
+    """Exactly one randomly chosen variant of every family goes to the test set."""
+    rng = np.random.default_rng(seed)
+    train: list[str] = []
+    test: list[str] = []
+    for family, queries in workload.families().items():
+        if len(queries) == 1:
+            # A single-variant family cannot lose its only member to the test
+            # set without disappearing from training entirely; keep it in train.
+            train.append(queries[0].query_id)
+            continue
+        held_out = int(rng.integers(len(queries)))
+        for position, query in enumerate(queries):
+            (test if position == held_out else train).append(query.query_id)
+    return DatasetSplit(
+        workload_name=workload.name,
+        sampling=SplitSampling.LEAVE_ONE_OUT,
+        split_index=split_index,
+        train_ids=tuple(train),
+        test_ids=tuple(test),
+    )
+
+
+def random_split(
+    workload: Workload,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    split_index: int = 0,
+) -> DatasetSplit:
+    """Uniformly random 80/20 split ignoring family membership."""
+    if not 0.0 < test_fraction < 1.0:
+        raise SplitError("test_fraction must lie strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    ids = workload.query_ids()
+    order = rng.permutation(len(ids))
+    n_test = max(1, int(round(len(ids) * test_fraction)))
+    test = {ids[i] for i in order[:n_test]}
+    return DatasetSplit(
+        workload_name=workload.name,
+        sampling=SplitSampling.RANDOM,
+        split_index=split_index,
+        train_ids=tuple(q for q in ids if q not in test),
+        test_ids=tuple(q for q in ids if q in test),
+    )
+
+
+def base_query_split(
+    workload: Workload,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    split_index: int = 0,
+) -> DatasetSplit:
+    """Whole families are assigned to either the training or the test set."""
+    if not 0.0 < test_fraction < 1.0:
+        raise SplitError("test_fraction must lie strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    families = workload.families()
+    family_ids = list(families)
+    order = rng.permutation(len(family_ids))
+    total = len(workload)
+    target_test = total * test_fraction
+    test_families: set[str] = set()
+    test_count = 0
+    for index in order:
+        family = family_ids[index]
+        if test_count >= target_test:
+            break
+        test_families.add(family)
+        test_count += len(families[family])
+    if len(test_families) == len(family_ids):
+        test_families.pop()
+    train, test = [], []
+    for query in workload:
+        (test if query.family in test_families else train).append(query.query_id)
+    return DatasetSplit(
+        workload_name=workload.name,
+        sampling=SplitSampling.BASE_QUERY,
+        split_index=split_index,
+        train_ids=tuple(train),
+        test_ids=tuple(test),
+    )
+
+
+def generate_split(
+    workload: Workload,
+    sampling: SplitSampling | str,
+    seed: int = 0,
+    split_index: int = 0,
+    test_fraction: float = 0.2,
+) -> DatasetSplit:
+    """Generate one split of the requested sampling type."""
+    if isinstance(sampling, str):
+        sampling = SplitSampling(sampling)
+    if sampling is SplitSampling.LEAVE_ONE_OUT:
+        return leave_one_out_split(workload, seed=seed, split_index=split_index)
+    if sampling is SplitSampling.RANDOM:
+        return random_split(
+            workload, test_fraction=test_fraction, seed=seed, split_index=split_index
+        )
+    if sampling is SplitSampling.BASE_QUERY:
+        return base_query_split(
+            workload, test_fraction=test_fraction, seed=seed, split_index=split_index
+        )
+    raise SplitError(f"unknown sampling {sampling!r}")
+
+
+def generate_splits(
+    workload: Workload,
+    sampling: SplitSampling | str,
+    n_splits: int = 3,
+    base_seed: int = 0,
+    test_fraction: float = 0.2,
+) -> list[DatasetSplit]:
+    """Generate ``n_splits`` independent splits of one sampling type.
+
+    The paper evaluates three independent splits per sampling strategy and
+    shows that results are *not* comparable across splits of the same type —
+    precisely why the splits must be fixed and shared across all methods.
+    """
+    return [
+        generate_split(
+            workload,
+            sampling,
+            seed=base_seed + index * 101,
+            split_index=index,
+            test_fraction=test_fraction,
+        )
+        for index in range(n_splits)
+    ]

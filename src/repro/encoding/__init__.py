@@ -1,0 +1,28 @@
+"""Query and plan encodings for the learned optimizers.
+
+Following Section 4 of the paper we distinguish:
+
+* **query encoding** — information independent of how the query is executed:
+  the join-graph adjacency matrix, table presence, and per-column filter
+  features (selectivities and min-max-scaled literals), and
+* **plan encoding** — information derived from a concrete physical plan: the
+  tree of operator nodes with join/scan type one-hots, table identifiers and
+  cardinality/cost estimates.
+
+:mod:`repro.encoding.featurizers` exposes per-LQO featurizer descriptions that
+mirror Table 1 (which methods use which components).
+"""
+
+from repro.encoding.query_encoding import QueryEncoder, QueryEncoding
+from repro.encoding.plan_encoding import PlanTreeEncoder, PlanNodeFeatures, EncodedPlanTree
+from repro.encoding.featurizers import EncodingSpec, featurizer_for
+
+__all__ = [
+    "QueryEncoder",
+    "QueryEncoding",
+    "PlanTreeEncoder",
+    "PlanNodeFeatures",
+    "EncodedPlanTree",
+    "EncodingSpec",
+    "featurizer_for",
+]

@@ -1,0 +1,139 @@
+"""Plan encoding: vectorizing physical plan trees for ML models.
+
+Every plan node becomes a fixed-size feature vector holding
+
+* a one-hot of the physical operator family (3 join types + 4 scan types),
+* a one-hot of the base table (scan nodes only),
+* log-scaled cardinality and cost estimates (as read from EXPLAIN).
+
+The encoded plan keeps the binary tree structure (:class:`EncodedPlanTree`),
+which tree-structured models (tree convolution / Tree-LSTM, Section 5) consume
+directly; :meth:`PlanTreeEncoder.pooled_vector` additionally provides the
+pooled fixed-size representation used by simpler regressors such as Bao's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.schema import Schema
+from repro.errors import EncodingError
+from repro.plans.physical import JoinNode, JoinType, PlanNode, ScanNode, ScanType, strip_decorations
+
+_JOIN_TYPES = (JoinType.NESTED_LOOP, JoinType.HASH, JoinType.MERGE)
+_SCAN_TYPES = (ScanType.SEQ, ScanType.INDEX, ScanType.BITMAP, ScanType.TID)
+
+
+@dataclass
+class PlanNodeFeatures:
+    """Feature vector of one plan node."""
+
+    vector: np.ndarray
+    label: str
+
+
+@dataclass
+class EncodedPlanTree:
+    """A binary tree of node feature vectors mirroring the plan structure."""
+
+    features: np.ndarray
+    label: str
+    left: "EncodedPlanTree | None" = None
+    right: "EncodedPlanTree | None" = None
+
+    def node_count(self) -> int:
+        count = 1
+        if self.left is not None:
+            count += self.left.node_count()
+        if self.right is not None:
+            count += self.right.node_count()
+        return count
+
+    def all_features(self) -> np.ndarray:
+        """Matrix of every node's features (pre-order), shape (n_nodes, dim)."""
+        rows = [self.features]
+        if self.left is not None:
+            rows.append(self.left.all_features())
+        if self.right is not None:
+            rows.append(self.right.all_features())
+        return np.vstack(rows)
+
+
+class PlanTreeEncoder:
+    """Encodes physical plans of one schema into feature trees and pooled vectors."""
+
+    def __init__(self, schema: Schema, include_table_identity: bool = True) -> None:
+        self.schema = schema
+        self.include_table_identity = include_table_identity
+        self._tables = schema.table_names()
+        self._table_index = {name: i for i, name in enumerate(self._tables)}
+        self._n_tables = len(self._tables) if include_table_identity else 0
+
+    # -- geometry -----------------------------------------------------------------
+    @property
+    def node_feature_size(self) -> int:
+        # operator one-hots + table one-hot + [log rows, log cost, is_join, is_scan]
+        return len(_JOIN_TYPES) + len(_SCAN_TYPES) + self._n_tables + 4
+
+    # -- encoding ------------------------------------------------------------------
+    def encode_node(self, node: PlanNode) -> PlanNodeFeatures:
+        join_onehot = np.zeros(len(_JOIN_TYPES), dtype=np.float32)
+        scan_onehot = np.zeros(len(_SCAN_TYPES), dtype=np.float32)
+        table_onehot = np.zeros(self._n_tables, dtype=np.float32)
+        is_join = 0.0
+        is_scan = 0.0
+        if isinstance(node, JoinNode):
+            join_onehot[_JOIN_TYPES.index(node.join_type)] = 1.0
+            is_join = 1.0
+        elif isinstance(node, ScanNode):
+            scan_onehot[_SCAN_TYPES.index(node.scan_type)] = 1.0
+            is_scan = 1.0
+            if self.include_table_identity:
+                index = self._table_index.get(node.table)
+                if index is None:
+                    raise EncodingError(f"plan references unknown table {node.table!r}")
+                table_onehot[index] = 1.0
+        rows = max(node.estimated_rows, 1.0)
+        cost = max(node.estimated_cost, 1.0)
+        tail = np.asarray(
+            [np.log1p(rows) / 20.0, np.log1p(cost) / 20.0, is_join, is_scan],
+            dtype=np.float32,
+        )
+        vector = np.concatenate([join_onehot, scan_onehot, table_onehot, tail])
+        return PlanNodeFeatures(vector=vector, label=node.label())
+
+    def encode(self, plan: PlanNode) -> EncodedPlanTree:
+        """Encode the scan/join core of a plan into a feature tree."""
+        core = strip_decorations(plan)
+        return self._encode_recursive(core)
+
+    def _encode_recursive(self, node: PlanNode) -> EncodedPlanTree:
+        features = self.encode_node(node)
+        if isinstance(node, JoinNode):
+            assert node.left is not None and node.right is not None
+            return EncodedPlanTree(
+                features=features.vector,
+                label=features.label,
+                left=self._encode_recursive(strip_decorations(node.left)),
+                right=self._encode_recursive(strip_decorations(node.right)),
+            )
+        return EncodedPlanTree(features=features.vector, label=features.label)
+
+    def pooled_vector(self, plan: PlanNode) -> np.ndarray:
+        """Fixed-size pooled plan representation: [max-pool, mean-pool, sum of logs].
+
+        This is the "stacking/pooling" style aggregation listed in Table 1 for
+        methods that do not run a tree-structured network over the plan.
+        """
+        tree = self.encode(plan)
+        matrix = tree.all_features()
+        max_pool = matrix.max(axis=0)
+        mean_pool = matrix.mean(axis=0)
+        depth = np.asarray([matrix.shape[0] / 32.0], dtype=np.float32)
+        return np.concatenate([max_pool, mean_pool, depth]).astype(np.float32)
+
+    @property
+    def pooled_size(self) -> int:
+        return 2 * self.node_feature_size + 1

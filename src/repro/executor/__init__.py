@@ -1,0 +1,25 @@
+"""Vectorized plan execution with buffer-pool-aware timing.
+
+The executor evaluates physical plans against the columnar storage, producing
+both the (aggregate) query result and a detailed account of the work
+performed: pages hit in the buffer pool, pages read "from disk" sequentially
+or randomly, tuples processed, spill bytes.  The timing model converts that
+work profile into a deterministic simulated latency whose cold-vs-hot cache
+behaviour reproduces the measurement-protocol findings of Sections 7.3/8.6.
+"""
+
+from repro.executor.operators import OperatorMetrics, Relation
+from repro.executor.timing import TimingModel, TimingBreakdown
+from repro.executor.engine import ExecutionEngine, ExecutionResult
+from repro.executor.explain import explain_plan, explain_analyze
+
+__all__ = [
+    "OperatorMetrics",
+    "Relation",
+    "TimingModel",
+    "TimingBreakdown",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "explain_plan",
+    "explain_analyze",
+]

@@ -1,0 +1,100 @@
+"""EXPLAIN / EXPLAIN ANALYZE renderings of plans and executions.
+
+The paper's measurement protocol extracts planning and execution times from
+``EXPLAIN ANALYZE`` output; LQOs additionally read cardinality estimates from
+plain ``EXPLAIN``.  These helpers provide the equivalent structured and
+textual views over the simulator's plans and execution results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.executor.engine import ExecutionResult
+from repro.plans.physical import PlanNode
+
+
+@dataclass
+class ExplainNode:
+    """One node of a structured EXPLAIN (ANALYZE) tree."""
+
+    label: str
+    estimated_rows: float
+    estimated_cost: float
+    actual_rows: int | None = None
+    children: list["ExplainNode"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        out = {
+            "label": self.label,
+            "estimated_rows": self.estimated_rows,
+            "estimated_cost": self.estimated_cost,
+        }
+        if self.actual_rows is not None:
+            out["actual_rows"] = self.actual_rows
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+def _build_tree(plan: PlanNode, actual_rows: dict[int, int] | None) -> ExplainNode:
+    node = ExplainNode(
+        label=plan.label(),
+        estimated_rows=plan.estimated_rows,
+        estimated_cost=plan.estimated_cost,
+        actual_rows=None if actual_rows is None else actual_rows.get(id(plan)),
+    )
+    for child in plan.children():
+        node.children.append(_build_tree(child, actual_rows))
+    return node
+
+
+def explain_plan(plan: PlanNode) -> str:
+    """EXPLAIN-style text rendering (estimates only)."""
+    return plan.pretty()
+
+
+def explain_analyze(
+    plan: PlanNode,
+    result: ExecutionResult,
+    planning_time_ms: float | None = None,
+) -> dict:
+    """Structured EXPLAIN ANALYZE: per-node estimates vs. actual rows plus timings."""
+    tree = _build_tree(plan, result.node_actual_rows)
+    payload: dict = {
+        "plan": tree.to_dict(),
+        "execution_time_ms": result.execution_time_ms,
+        "timed_out": result.timed_out,
+        "output_rows": result.row_count,
+    }
+    if planning_time_ms is not None:
+        payload["planning_time_ms"] = planning_time_ms
+    return payload
+
+
+def explain_analyze_text(
+    plan: PlanNode,
+    result: ExecutionResult,
+    planning_time_ms: float | None = None,
+) -> str:
+    """Human readable EXPLAIN ANALYZE, close to PostgreSQL's text format."""
+    lines: list[str] = []
+
+    def render(node: PlanNode, indent: int) -> None:
+        pad = "  " * indent
+        actual = result.node_actual_rows.get(id(node))
+        actual_part = f" (actual rows={actual})" if actual is not None else ""
+        lines.append(
+            f"{pad}{node.label()}  (cost={node.estimated_cost:.2f} rows={node.estimated_rows:.0f})"
+            f"{actual_part}"
+        )
+        for child in node.children():
+            render(child, indent + 1)
+
+    render(plan, 0)
+    if planning_time_ms is not None:
+        lines.append(f"Planning Time: {planning_time_ms:.3f} ms")
+    lines.append(f"Execution Time: {result.execution_time_ms:.3f} ms")
+    if result.timed_out:
+        lines.append("NOTE: statement timed out")
+    return "\n".join(lines)

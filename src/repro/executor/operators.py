@@ -1,0 +1,439 @@
+"""Vectorized physical operators and their work accounting.
+
+A :class:`Relation` is the intermediate result format: for every base-table
+alias it holds an equal-length array of row ids, so a join result is a set of
+row-id tuples and column values are fetched lazily when a predicate or an
+aggregate needs them.
+
+Every operator returns both the resulting :class:`Relation` and an
+:class:`OperatorMetrics` record describing the work performed, which the
+timing model converts into simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.optimizer.cardinality import _evaluate_filter_mask as evaluate_filter_mask
+from repro.plans.physical import JoinNode, JoinType, ScanNode, ScanType
+from repro.sql.binder import BoundQuery, JoinPredicate
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.database import Database
+
+
+@dataclass
+class OperatorMetrics:
+    """Work performed by one operator (or accumulated over a plan)."""
+
+    pages_hit: int = 0
+    seq_pages_read: int = 0
+    random_pages_read: int = 0
+    index_pages: int = 0
+    tuples_in: int = 0
+    tuples_out: int = 0
+    cpu_ops: int = 0
+    sort_rows: int = 0
+    spill_bytes: int = 0
+
+    def merge(self, other: "OperatorMetrics") -> "OperatorMetrics":
+        """Accumulate another operator's work into this record (returns self)."""
+        self.pages_hit += other.pages_hit
+        self.seq_pages_read += other.seq_pages_read
+        self.random_pages_read += other.random_pages_read
+        self.index_pages += other.index_pages
+        self.tuples_in += other.tuples_in
+        self.tuples_out += other.tuples_out
+        self.cpu_ops += other.cpu_ops
+        self.sort_rows += other.sort_rows
+        self.spill_bytes += other.spill_bytes
+        return self
+
+    def copy(self) -> "OperatorMetrics":
+        return OperatorMetrics(**self.__dict__)
+
+
+@dataclass
+class Relation:
+    """Intermediate result: per-alias row ids, all arrays of equal length."""
+
+    rows: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {alias: len(ids) for alias, ids in self.rows.items()}
+        if lengths and len(set(lengths.values())) != 1:
+            raise ExecutionError(f"inconsistent relation row counts: {lengths}")
+
+    @property
+    def size(self) -> int:
+        if not self.rows:
+            return 0
+        return len(next(iter(self.rows.values())))
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        return frozenset(self.rows)
+
+    def select(self, positions: np.ndarray) -> "Relation":
+        """Keep only the tuples at ``positions`` (positional indices)."""
+        return Relation(rows={alias: ids[positions] for alias, ids in self.rows.items()})
+
+    @staticmethod
+    def from_row_ids(alias: str, row_ids: np.ndarray) -> "Relation":
+        return Relation(rows={alias: np.asarray(row_ids, dtype=np.int64)})
+
+
+def fetch_column(
+    database: Database, query: BoundQuery, relation: Relation, alias: str, column: str
+) -> np.ndarray:
+    """Column values of ``alias.column`` for every tuple of ``relation``."""
+    if alias not in relation.rows:
+        raise ExecutionError(f"relation does not contain alias {alias!r}")
+    data = database.table_data(query.table_of(alias))
+    return data.column(column)[relation.rows[alias]]
+
+
+def join_match_positions(
+    left_values: np.ndarray, right_values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of matching pairs between two value arrays (inner equi-join).
+
+    Implemented with a sort + binary search, which handles duplicates on both
+    sides and keeps everything vectorized.
+    """
+    left_values = np.asarray(left_values, dtype=np.int64)
+    right_values = np.asarray(right_values, dtype=np.int64)
+    if left_values.size == 0 or right_values.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(right_values, kind="stable")
+    sorted_right = right_values[order]
+    lo = np.searchsorted(sorted_right, left_values, side="left")
+    hi = np.searchsorted(sorted_right, left_values, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_positions = np.repeat(np.arange(left_values.size, dtype=np.int64), counts)
+    right_offsets = np.concatenate(
+        [np.arange(int(l), int(h), dtype=np.int64) for l, h in zip(lo, hi) if h > l]
+    )
+    right_positions = order[right_offsets]
+    return left_positions, right_positions
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+def execute_scan(
+    database: Database,
+    query: BoundQuery,
+    node: ScanNode,
+    buffer_pool: BufferPool,
+) -> tuple[Relation, OperatorMetrics]:
+    """Evaluate a scan node: apply its filters and account for page accesses."""
+    metrics = OperatorMetrics()
+    data = database.table_data(node.table)
+    row_count = data.row_count
+    metrics.tuples_in = row_count
+
+    if row_count == 0:
+        return Relation.from_row_ids(node.alias, np.empty(0, dtype=np.int64)), metrics
+
+    driving_filter = None
+    if node.index_column is not None:
+        for predicate in node.filters:
+            if predicate.column == node.index_column and predicate.op in (
+                "=", "<", "<=", ">", ">=", "between", "in",
+            ):
+                driving_filter = predicate
+                break
+
+    if node.scan_type is ScanType.SEQ or driving_filter is None:
+        access = buffer_pool.access_pages(node.table, data.page_count, sequential=True)
+        metrics.pages_hit += access.hits
+        metrics.seq_pages_read += access.misses
+        mask = np.ones(row_count, dtype=bool)
+        for predicate in node.filters:
+            mask &= evaluate_filter_mask(data, predicate)
+            metrics.cpu_ops += row_count
+        row_ids = np.nonzero(mask)[0]
+    else:
+        index = database.index(node.table, node.index_column)
+        if index is None:
+            raise ExecutionError(
+                f"plan requires an index on {node.table}.{node.index_column} that does not exist"
+            )
+        lookup = _index_lookup(index, data, driving_filter)
+        metrics.index_pages += lookup.index_pages
+        matched = lookup.row_ids
+        # Heap accesses: one page per matched tuple for an index scan (random),
+        # page-sorted batched accesses for a bitmap heap scan (sequential-ish).
+        heap_pages = min(matched.size, data.page_count)
+        sequential = node.scan_type is ScanType.BITMAP
+        if node.scan_type is ScanType.TID:
+            heap_pages = min(1, data.page_count)
+        access = buffer_pool.access_fraction(
+            node.table, data.page_count, heap_pages / max(data.page_count, 1), sequential=sequential
+        )
+        metrics.pages_hit += access.hits
+        if sequential:
+            metrics.seq_pages_read += access.misses
+        else:
+            metrics.random_pages_read += access.misses
+        # Remaining filters are applied only to the matched tuples.
+        mask = np.ones(matched.size, dtype=bool)
+        for predicate in node.filters:
+            if predicate is driving_filter:
+                continue
+            full_mask = evaluate_filter_mask(data, predicate)
+            mask &= full_mask[matched]
+            metrics.cpu_ops += matched.size
+        row_ids = matched[mask]
+
+    metrics.tuples_out = int(row_ids.size)
+    metrics.cpu_ops += int(row_ids.size)
+    return Relation.from_row_ids(node.alias, row_ids), metrics
+
+
+def _index_lookup(index, data, predicate):
+    """Dispatch an index lookup for the driving filter of an index-based scan."""
+    if predicate.op == "=":
+        return index.lookup_eq(data.encode(predicate.column, predicate.value))
+    if predicate.op == "in":
+        codes = np.asarray(
+            [data.encode(predicate.column, v) for v in predicate.values], dtype=np.int64
+        )
+        return index.lookup_in(codes)
+    if predicate.op == "between":
+        low = data.encode(predicate.column, predicate.values[0])
+        high = data.encode(predicate.column, predicate.values[1])
+        return index.lookup_range(low=low, high=high)
+    if predicate.op in ("<", "<="):
+        high = data.encode(predicate.column, predicate.value)
+        return index.lookup_range(low=None, high=high, include_high=predicate.op == "<=")
+    if predicate.op in (">", ">="):
+        low = data.encode(predicate.column, predicate.value)
+        return index.lookup_range(low=low, high=None, include_low=predicate.op == ">=")
+    raise ExecutionError(f"cannot drive an index scan with operator {predicate.op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+def index_nestloop_inner(database: Database, node: JoinNode):
+    """Return ``(scan, index, join_column)`` when ``node`` can run as an index
+    nested loop into its right child, else ``None``.
+
+    The inner side must be a base-table scan with an index on one of the join
+    columns; in that case the executor probes the index per outer tuple instead
+    of materializing the inner relation (matching PostgreSQL's parameterized
+    inner index scans).
+    """
+    if node.join_type is not JoinType.NESTED_LOOP:
+        return None
+    inner = node.right
+    if not isinstance(inner, ScanNode):
+        return None
+    for predicate in node.predicates:
+        if predicate.involves(inner.alias):
+            column = predicate.column_for(inner.alias)
+            index = database.index(inner.table, column)
+            if index is not None:
+                return inner, index, column
+    return None
+
+
+def execute_index_nestloop(
+    database: Database,
+    query: BoundQuery,
+    node: JoinNode,
+    left: Relation,
+    buffer_pool: BufferPool,
+) -> tuple[Relation, OperatorMetrics]:
+    """Evaluate a nested loop whose inner side is an index probe into a base table."""
+    resolved = index_nestloop_inner(database, node)
+    if resolved is None:
+        raise ExecutionError("join cannot be executed as an index nested loop")
+    inner_scan, index, column = resolved
+    metrics = OperatorMetrics()
+    metrics.tuples_in = left.size
+
+    # Outer join-key values.
+    outer_alias, outer_column = None, None
+    for predicate in node.predicates:
+        if predicate.involves(inner_scan.alias):
+            outer_alias, outer_column = predicate.other(inner_scan.alias)
+            break
+    assert outer_alias is not None and outer_column is not None
+    outer_keys = fetch_column(database, query, left, outer_alias, outer_column)
+
+    probe_positions, matched_rows, index_pages = index.probe_many(outer_keys)
+    metrics.index_pages += index_pages
+    metrics.cpu_ops += left.size
+
+    data = database.table_data(inner_scan.table)
+    # Heap accesses for the matched inner tuples (random page reads).
+    heap_pages = min(int(matched_rows.size), data.page_count)
+    access = buffer_pool.access_fraction(
+        inner_scan.table, data.page_count, heap_pages / max(data.page_count, 1), sequential=False
+    )
+    metrics.pages_hit += access.hits
+    metrics.random_pages_read += access.misses
+
+    # Apply the inner scan's own filters to the matched tuples.
+    keep = np.ones(matched_rows.size, dtype=bool)
+    for predicate in inner_scan.filters:
+        full_mask = evaluate_filter_mask(data, predicate)
+        keep &= full_mask[matched_rows]
+        metrics.cpu_ops += matched_rows.size
+    probe_positions = probe_positions[keep]
+    matched_rows = matched_rows[keep]
+
+    result = _combine(left, Relation.from_row_ids(inner_scan.alias, matched_rows),
+                      probe_positions, np.arange(matched_rows.size, dtype=np.int64))
+
+    # Secondary join predicates between the same two sides become filters.
+    for predicate in node.predicates[1:]:
+        if not predicate.involves(inner_scan.alias):
+            continue
+        other_alias, other_column = predicate.other(inner_scan.alias)
+        if other_alias not in result.aliases:
+            continue
+        lvals = fetch_column(database, query, result, other_alias, other_column)
+        rvals = fetch_column(database, query, result, inner_scan.alias,
+                             predicate.column_for(inner_scan.alias))
+        keep_mask = lvals == rvals
+        metrics.cpu_ops += result.size
+        result = result.select(np.nonzero(keep_mask)[0])
+
+    metrics.tuples_out = result.size
+    metrics.cpu_ops += result.size
+    return result, metrics
+
+
+def execute_join(
+    database: Database,
+    query: BoundQuery,
+    node: JoinNode,
+    left: Relation,
+    right: Relation,
+    buffer_pool: BufferPool,
+    work_mem_bytes: int,
+) -> tuple[Relation, OperatorMetrics]:
+    """Evaluate a join node over already-materialized child relations."""
+    metrics = OperatorMetrics()
+    metrics.tuples_in = left.size + right.size
+
+    if not node.predicates:
+        result = _cross_product(left, right)
+        metrics.cpu_ops += max(left.size * right.size, 1)
+        metrics.tuples_out = result.size
+        return result, metrics
+
+    primary = node.predicates[0]
+    left_alias, left_column, right_alias, right_column = _orient_predicate(primary, left, right)
+
+    left_values = fetch_column(database, query, left, left_alias, left_column)
+    right_values = fetch_column(database, query, right, right_alias, right_column)
+
+    left_pos, right_pos = join_match_positions(left_values, right_values)
+
+    if node.join_type is JoinType.HASH:
+        metrics.cpu_ops += int(1.5 * right.size) + left.size
+        row_width = 60
+        inner_bytes = right.size * row_width
+        if inner_bytes > work_mem_bytes:
+            metrics.spill_bytes += inner_bytes
+    elif node.join_type is JoinType.MERGE:
+        metrics.sort_rows += left.size + right.size
+        metrics.cpu_ops += left.size + right.size
+    elif node.join_type is JoinType.NESTED_LOOP:
+        inner_scan = node.right if isinstance(node.right, ScanNode) else None
+        inner_index = None
+        if inner_scan is not None:
+            column = None
+            for predicate in node.predicates:
+                if predicate.involves(inner_scan.alias):
+                    column = predicate.column_for(inner_scan.alias)
+                    break
+            if column is not None:
+                inner_index = database.index(inner_scan.table, column)
+        if inner_index is not None:
+            metrics.index_pages += left.size * inner_index.height
+            metrics.cpu_ops += left.size * inner_index.height
+        else:
+            metrics.cpu_ops += max(left.size * right.size, 1)
+    else:  # pragma: no cover - defensive
+        raise ExecutionError(f"unknown join type {node.join_type!r}")
+
+    result = _combine(left, right, left_pos, right_pos)
+
+    # Additional predicates between the same two sides are applied as filters.
+    for predicate in node.predicates[1:]:
+        la, lc, ra, rc = _orient_predicate(predicate, left, right)
+        lvals = fetch_column(database, query, result, la, lc)
+        rvals = fetch_column(database, query, result, ra, rc)
+        keep = lvals == rvals
+        metrics.cpu_ops += result.size
+        result = result.select(np.nonzero(keep)[0])
+
+    metrics.tuples_out = result.size
+    metrics.cpu_ops += result.size
+    return result, metrics
+
+
+def _orient_predicate(
+    predicate: JoinPredicate, left: Relation, right: Relation
+) -> tuple[str, str, str, str]:
+    """Return (left_alias, left_column, right_alias, right_column) oriented to the inputs."""
+    if predicate.left_alias in left.aliases and predicate.right_alias in right.aliases:
+        return (
+            predicate.left_alias,
+            predicate.left_column,
+            predicate.right_alias,
+            predicate.right_column,
+        )
+    if predicate.right_alias in left.aliases and predicate.left_alias in right.aliases:
+        return (
+            predicate.right_alias,
+            predicate.right_column,
+            predicate.left_alias,
+            predicate.left_column,
+        )
+    raise ExecutionError(f"join predicate {predicate} does not connect the two inputs")
+
+
+def _combine(
+    left: Relation, right: Relation, left_pos: np.ndarray, right_pos: np.ndarray
+) -> Relation:
+    rows: dict[str, np.ndarray] = {}
+    for alias, ids in left.rows.items():
+        rows[alias] = ids[left_pos]
+    for alias, ids in right.rows.items():
+        rows[alias] = ids[right_pos]
+    return Relation(rows=rows)
+
+
+#: Safety cap on materialized cross-product size (tuples).  Plans that exceed
+#: it are aborted and surface as timeouts in the benchmarking framework, which
+#: is also how such pathological plans behave on a real system.
+MAX_CROSS_PRODUCT_TUPLES = 20_000_000
+
+
+def _cross_product(left: Relation, right: Relation) -> Relation:
+    left_size = left.size
+    right_size = right.size
+    if left_size * right_size > MAX_CROSS_PRODUCT_TUPLES:
+        raise ExecutionError(
+            f"cross product of {left_size} x {right_size} tuples exceeds the "
+            f"executor's materialization cap"
+        )
+    left_pos = np.repeat(np.arange(left_size, dtype=np.int64), right_size)
+    right_pos = np.tile(np.arange(right_size, dtype=np.int64), left_size)
+    return _combine(left, right, left_pos, right_pos)

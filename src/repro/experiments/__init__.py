@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per table and figure of the paper.
+
+Every module exposes a ``run(...)`` function returning structured results and
+a ``main()`` that prints the corresponding table/series in plain text.  The
+mapping to the paper is listed in DESIGN.md §4 and EXPERIMENTS.md records the
+measured outcomes next to the paper's reported shapes.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,76 @@
+"""Shared context construction for the experiment drivers.
+
+Building the synthetic databases and binding the workloads takes a couple of
+hundred milliseconds; the experiments and benchmark harness share the results
+through this module's memoized constructors.  The default scale keeps a full
+figure-4-style run in the minutes range; pass a larger ``scale`` (or set the
+``REPRO_SCALE`` environment variable) for bigger databases.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.catalog.imdb import generate_imdb, generate_imdb_half
+from repro.catalog.stack import generate_stack
+from repro.config import SIMULATION_CONFIG, PostgresConfig
+from repro.storage.database import Database
+from repro.workloads import build_ext_job_workload, build_job_workload, build_stack_workload
+from repro.workloads.workload import Workload
+
+#: Default database scale used by the experiment drivers and benchmarks.
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+@dataclass
+class BenchmarkContext:
+    """A database plus its bound workload."""
+
+    database: Database
+    workload: Workload
+
+    @property
+    def schema_name(self) -> str:
+        return self.database.schema.name
+
+
+@lru_cache(maxsize=8)
+def _imdb(scale: float, seed: int) -> Database:
+    return generate_imdb(scale=scale, seed=seed, config=SIMULATION_CONFIG)
+
+
+@lru_cache(maxsize=4)
+def _stack(scale: float, seed: int) -> Database:
+    return generate_stack(scale=scale, seed=seed, config=SIMULATION_CONFIG)
+
+
+def job_context(scale: float | None = None, seed: int = 42) -> BenchmarkContext:
+    """Synthetic IMDB plus the 113-query JOB-style workload."""
+    database = _imdb(scale if scale is not None else DEFAULT_SCALE, seed)
+    return BenchmarkContext(database=database, workload=build_job_workload(database.schema))
+
+
+def stack_context(scale: float | None = None, seed: int = 1337) -> BenchmarkContext:
+    """Synthetic StackExchange plus the down-sampled STACK workload."""
+    database = _stack(scale if scale is not None else DEFAULT_SCALE, seed)
+    return BenchmarkContext(database=database, workload=build_stack_workload(database.schema))
+
+
+def ext_job_context(scale: float | None = None, seed: int = 42) -> BenchmarkContext:
+    """Synthetic IMDB plus the Ext-JOB-style workload (GROUP BY / ORDER BY)."""
+    database = _imdb(scale if scale is not None else DEFAULT_SCALE, seed)
+    return BenchmarkContext(database=database, workload=build_ext_job_workload(database.schema))
+
+
+def imdb_half_database(scale: float | None = None, seed: int = 42) -> Database:
+    """IMDB-50% for the covariate-shift study (title Bernoulli-sampled at 50%)."""
+    return generate_imdb_half(
+        scale=scale if scale is not None else DEFAULT_SCALE, seed=seed, config=SIMULATION_CONFIG
+    )
+
+
+def framework_config() -> PostgresConfig:
+    """The configuration the paper's framework uses, scaled to the simulation."""
+    return SIMULATION_CONFIG

@@ -1,0 +1,55 @@
+"""Figure 5: end-to-end comparison of LQOs vs. PostgreSQL on STACK.
+
+Same protocol as Figure 4 but over the STACK workload; the paper's findings
+largely carry over, with LEON's inference an order of magnitude faster than on
+JOB because STACK queries join fewer tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import format_table
+from repro.core.splits import SplitSampling
+from repro.experiments.common import stack_context
+from repro.experiments.figure4 import DEFAULT_SPLITS_PER_SAMPLING, EndToEndResult, run_for_context
+from repro.lqo.registry import MAIN_EVALUATION_METHODS
+
+
+def run(
+    scale: float | None = None,
+    methods: tuple[str, ...] = MAIN_EVALUATION_METHODS,
+    splits_per_sampling: int = DEFAULT_SPLITS_PER_SAMPLING,
+    experiment_config: ExperimentConfig | None = None,
+) -> EndToEndResult:
+    """Figure 5: the end-to-end comparison on the STACK workload."""
+    return run_for_context(
+        stack_context(scale),
+        methods=methods,
+        splits_per_sampling=splits_per_sampling,
+        samplings=(
+            SplitSampling.LEAVE_ONE_OUT,
+            SplitSampling.RANDOM,
+            SplitSampling.BASE_QUERY,
+        ),
+        experiment_config=experiment_config,
+    )
+
+
+def main(scale: float | None = None, methods: tuple[str, ...] = MAIN_EVALUATION_METHODS) -> str:
+    result = run(scale, methods=methods)
+    lines = [
+        format_table(
+            result.rows(),
+            title="Figure 5: per-method timing decomposition on STACK test sets",
+        ),
+        "",
+        "best end-to-end method per split: "
+        + ", ".join(f"{split}={method}" for split, method in result.best_method_per_split().items()),
+    ]
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Table 1: the encoding-component inventory of the evaluated LQOs."""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.encoding.featurizers import table1_rows
+
+
+def run() -> list[dict[str, str]]:
+    """Regenerate Table 1 as a list of rows (one per LQO)."""
+    return table1_rows()
+
+
+def main() -> str:
+    output = format_table(run(), title="Table 1: Main encoding components of LQOs")
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

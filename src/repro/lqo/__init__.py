@@ -1,0 +1,56 @@
+"""Learned query optimizers (LQOs) and the classical PostgreSQL baseline.
+
+Every optimizer implements the :class:`repro.lqo.base.BaseOptimizer` contract:
+``fit`` on a list of training queries and ``plan_query`` for inference, with
+wall-clock inference and training times recorded so the benchmarking framework
+can decompose end-to-end latency the way the paper does (inference + planning
++ execution, Section 8.2.1).
+
+Implemented methods (see ``repro.lqo.registry`` for the full inventory):
+
+* :class:`PostgresBaseline` — the simulated DBMS's own cost-based optimizer,
+* :class:`BaoOptimizer` — hint-set steering (Marcus et al.),
+* :class:`NeoOptimizer` — value-network plan search bootstrapped from the DBMS,
+* :class:`BalsaOptimizer` — Neo-style search bootstrapped from the cost model
+  with timeouts and on-policy training,
+* :class:`LeonOptimizer` — learning-to-rank over enumerated candidate plans,
+* :class:`HybridQOOptimizer` — MCTS hint generation plus a learned selector,
+* :class:`RtosOptimizer`, :class:`LeroOptimizer`, :class:`LogerOptimizer` —
+  simplified implementations of the methods the paper lists but excludes from
+  its main experiments.
+"""
+
+from repro.lqo.base import (
+    BaseOptimizer,
+    LQOEnvironment,
+    PlannedQuery,
+    TrainingReport,
+)
+from repro.lqo.postgres_baseline import PostgresBaseline
+from repro.lqo.bao import BaoOptimizer
+from repro.lqo.neo import NeoOptimizer
+from repro.lqo.balsa import BalsaOptimizer
+from repro.lqo.leon import LeonOptimizer
+from repro.lqo.hybridqo import HybridQOOptimizer
+from repro.lqo.others import LeroOptimizer, LogerOptimizer, RtosOptimizer
+from repro.lqo.registry import MethodInfo, available_methods, create_optimizer, method_info
+
+__all__ = [
+    "BaseOptimizer",
+    "LQOEnvironment",
+    "PlannedQuery",
+    "TrainingReport",
+    "PostgresBaseline",
+    "BaoOptimizer",
+    "NeoOptimizer",
+    "BalsaOptimizer",
+    "LeonOptimizer",
+    "HybridQOOptimizer",
+    "RtosOptimizer",
+    "LeroOptimizer",
+    "LogerOptimizer",
+    "MethodInfo",
+    "available_methods",
+    "create_optimizer",
+    "method_info",
+]

@@ -1,0 +1,25 @@
+"""Balsa: learning a query optimizer without expert demonstrations.
+
+Balsa (Yang et al., SIGMOD 2022) reuses Neo's architecture but changes the
+training pipeline in three ways the paper highlights (Section 2):
+
+* it bootstraps from the DBMS **cost model** instead of executed latencies
+  (no expert demonstrations),
+* it applies **timeouts** to training executions so catastrophically bad plans
+  do not stall training,
+* it trains **on-policy**: each retraining round uses the data points produced
+  by the most recent model state rather than the full replay buffer.
+"""
+
+from __future__ import annotations
+
+from repro.lqo.neo import NeoOptimizer
+
+
+class BalsaOptimizer(NeoOptimizer):
+    """Neo-style search with cost bootstrap, training timeouts and on-policy updates."""
+
+    name = "balsa"
+    on_policy = True
+    use_timeouts = True
+    bootstrap_from_cost = True

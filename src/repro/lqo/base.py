@@ -1,0 +1,252 @@
+"""Common infrastructure for learned query optimizers.
+
+:class:`LQOEnvironment` bundles everything an optimizer needs to interact with
+the simulated DBMS — planner, execution engine, encoders, measurement helpers —
+so that every method trains and is evaluated under identical conditions (the
+paper's core requirement for its end-to-end benchmarking framework).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import PostgresConfig
+from repro.encoding.plan_encoding import PlanTreeEncoder
+from repro.encoding.query_encoding import QueryEncoder
+from repro.errors import ExperimentError
+from repro.executor.engine import ExecutionEngine, ExecutionResult
+from repro.ml.tree_models import TreeConvolutionEncoder, TreeLSTMEncoder
+from repro.optimizer.planner import Planner, PlannerResult
+from repro.plans.hints import NO_HINTS, HintSet
+from repro.plans.physical import JoinNode, PlanNode, ScanNode, strip_decorations
+from repro.plans.properties import join_order_of
+from repro.sql.binder import BoundQuery
+from repro.storage.database import Database
+from repro.workloads.workload import BenchmarkQuery
+
+
+@dataclass
+class PlannedQuery:
+    """The outcome of asking an optimizer to plan one query."""
+
+    query_id: str
+    plan: PlanNode
+    hints: HintSet
+    inference_time_ms: float
+    planning_time_ms: float
+    method: str
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class TrainingReport:
+    """End-to-end training accounting for one optimizer (Figure 6)."""
+
+    method: str
+    training_time_s: float
+    executed_plans: int
+    iterations: int
+    notes: str = ""
+
+
+@dataclass
+class MeasuredExecution:
+    """Latency measurements of one executed plan under the hot-cache protocol."""
+
+    execution_times_ms: list[float]
+    timed_out: bool
+    result: ExecutionResult
+
+    @property
+    def reported_ms(self) -> float:
+        """The paper's protocol: execute three times, report the third run."""
+        return self.execution_times_ms[-1]
+
+    @property
+    def first_run_ms(self) -> float:
+        return self.execution_times_ms[0]
+
+
+class LQOEnvironment:
+    """Shared DBMS access layer for every optimizer."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: PostgresConfig | None = None,
+        training_runs_per_plan: int = 1,
+        evaluation_runs_per_plan: int = 3,
+        hidden_size: int = 48,
+        seed: int = 0,
+    ) -> None:
+        self.database = database
+        self.config = config or database.config
+        self.planner = Planner(database, self.config)
+        self.engine = ExecutionEngine(database, self.config)
+        self.query_encoder = QueryEncoder(database)
+        self.plan_encoder = PlanTreeEncoder(database.schema)
+        self.tree_conv = TreeConvolutionEncoder(self.plan_encoder, hidden_size=hidden_size, seed=seed + 17)
+        self.tree_lstm = TreeLSTMEncoder(self.plan_encoder, hidden_size=hidden_size, seed=seed + 23)
+        self.training_runs_per_plan = training_runs_per_plan
+        self.evaluation_runs_per_plan = evaluation_runs_per_plan
+        self.seed = seed
+        #: Count of plans executed against the DBMS (training-data accounting).
+        self.executed_plan_count = 0
+
+    # ------------------------------------------------------------------- planning
+    def plan_with_hints(self, query: BoundQuery, hints: HintSet = NO_HINTS) -> PlannerResult:
+        """Plan a query through the simulated DBMS planner (optionally hinted)."""
+        return self.planner.plan_with_info(query, hints)
+
+    def hinted_planning_time_ms(self, query: BoundQuery) -> float:
+        """Simulated planning time when an LQO hands the DBMS a fully hinted plan."""
+        return 0.4 + 0.03 * query.num_relations + 0.02 * len(query.filters)
+
+    def recost(self, query: BoundQuery, plan: PlanNode) -> PlanNode:
+        """Attach planner estimates to an externally constructed plan."""
+        return self.planner.cost_model.recost_plan(query, plan)
+
+    # ------------------------------------------------------------------ execution
+    def execute_plan(
+        self,
+        query: BoundQuery,
+        plan: PlanNode,
+        runs: int | None = None,
+        timeout_ms: float | None = None,
+        cold_start: bool = False,
+    ) -> MeasuredExecution:
+        """Execute a plan ``runs`` times under the hot-cache protocol.
+
+        ``cold_start`` drops the buffer pool before the first run (the
+        framework's cold-cache reset); subsequent runs re-use the warmed
+        caches, so the last run is the hot-cache measurement the paper reports.
+        """
+        if runs is None:
+            runs = self.evaluation_runs_per_plan
+        if runs <= 0:
+            raise ExperimentError("must execute a plan at least once")
+        if cold_start:
+            self.database.drop_caches()
+        times: list[float] = []
+        timed_out = False
+        result: ExecutionResult | None = None
+        for _ in range(runs):
+            result = self.engine.execute(query, plan, timeout_ms=timeout_ms)
+            self.executed_plan_count += 1
+            times.append(result.execution_time_ms)
+            if result.timed_out:
+                timed_out = True
+                break
+        assert result is not None
+        return MeasuredExecution(execution_times_ms=times, timed_out=timed_out, result=result)
+
+    def training_latency(
+        self,
+        query: BoundQuery,
+        plan: PlanNode,
+        timeout_ms: float | None = None,
+    ) -> tuple[float, bool]:
+        """Latency used as a training target (single run, as most LQOs do)."""
+        measured = self.execute_plan(
+            query, plan, runs=self.training_runs_per_plan, timeout_ms=timeout_ms
+        )
+        return measured.reported_ms, measured.timed_out
+
+    # ------------------------------------------------------------------ featurization
+    def query_vector(self, query: BoundQuery) -> np.ndarray:
+        return self.query_encoder.encode_vector(query).astype(np.float64)
+
+    def plan_vector(self, plan: PlanNode, use_lstm: bool = False) -> np.ndarray:
+        encoder = self.tree_lstm if use_lstm else self.tree_conv
+        return encoder.encode_plan(plan)
+
+    def query_plan_vector(self, query: BoundQuery, plan: PlanNode, use_lstm: bool = False) -> np.ndarray:
+        return np.concatenate([self.query_vector(query), self.plan_vector(plan, use_lstm)])
+
+    @property
+    def query_plan_vector_size(self) -> int:
+        return self.query_encoder.encoding_size + self.tree_conv.output_size
+
+    @property
+    def plan_vector_size(self) -> int:
+        return self.tree_conv.output_size
+
+    # ------------------------------------------------------------------- hints
+    def hints_from_plan(self, query: BoundQuery, plan: PlanNode) -> HintSet:
+        """Derive a pg_hint_plan-style hint set that pins down a produced plan."""
+        core = strip_decorations(plan)
+        scan_methods = {}
+        join_methods = {}
+        for node in core.walk():
+            if isinstance(node, ScanNode):
+                scan_methods[node.alias] = node.scan_type
+            elif isinstance(node, JoinNode):
+                join_methods[frozenset(node.aliases)] = node.join_type
+        return HintSet(
+            leading=join_order_of(core),
+            join_order_exact=True,
+            join_methods=join_methods,
+            scan_methods=scan_methods,
+            name="lqo-plan",
+        )
+
+
+class BaseOptimizer(abc.ABC):
+    """Contract every (learned) optimizer implements."""
+
+    #: Short machine name (also the registry key).
+    name: str = "base"
+    #: Whether the method needs a training phase at all.
+    requires_training: bool = True
+    #: Whether the method runs inside the DBMS (its inference time is reported
+    #: as part of the planning time, as Bao's is in Figure 4).
+    integrates_with_dbms: bool = False
+
+    def __init__(self, env: LQOEnvironment) -> None:
+        self.env = env
+        self.training_report: TrainingReport | None = None
+
+    # -- training ---------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, train_queries: list[BenchmarkQuery]) -> TrainingReport:
+        """Train on the given queries and return the end-to-end training report."""
+
+    # -- inference ---------------------------------------------------------------
+    @abc.abstractmethod
+    def plan_query(self, query: BenchmarkQuery) -> PlannedQuery:
+        """Produce the plan (and hint set) this method would execute for ``query``."""
+
+    # -- helpers shared by implementations --------------------------------------------
+    def _timed_fit(self, body, train_queries: list[BenchmarkQuery]) -> TrainingReport:
+        """Run a training body while accounting wall-clock time and executed plans."""
+        start_plans = self.env.executed_plan_count
+        start = time.perf_counter()
+        iterations = body(train_queries)
+        elapsed = time.perf_counter() - start
+        report = TrainingReport(
+            method=self.name,
+            training_time_s=elapsed,
+            executed_plans=self.env.executed_plan_count - start_plans,
+            iterations=int(iterations or 0),
+        )
+        self.training_report = report
+        return report
+
+    def _timed_inference(self, body, query: BenchmarkQuery) -> PlannedQuery:
+        """Run an inference body while measuring wall-clock inference time."""
+        start = time.perf_counter()
+        plan, hints, planning_time_ms, metadata = body(query)
+        inference_ms = (time.perf_counter() - start) * 1000.0
+        return PlannedQuery(
+            query_id=query.query_id,
+            plan=plan,
+            hints=hints,
+            inference_time_ms=inference_ms,
+            planning_time_ms=planning_time_ms,
+            method=self.name,
+            metadata=metadata,
+        )

@@ -1,0 +1,202 @@
+"""LEON: an ML-aided optimizer based on learning-to-rank over enumerated plans.
+
+LEON (Chen et al., VLDB 2023) keeps the DBMS's dynamic-programming enumeration
+but replaces pure cost-based pruning with a learned pairwise ranking model:
+candidate sub-plans of every equivalence class are scored and only the most
+promising are kept.  The approach is accurate but pays for it with extreme
+inference times — the paper measures hours per workload on JOB because tens of
+thousands of sub-plans are scored per query (Section 8.2.2).  The same
+characteristic shows up here: LEON's inference walks a DP lattice (or a wide
+beam for very large queries) and scores every candidate with the ranker, so it
+is by far the slowest method at inference time, while its executed plans are
+often competitive.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.lqo.base import BaseOptimizer, LQOEnvironment, PlannedQuery, TrainingReport
+from repro.ml.nn import PairwiseRanker
+from repro.plans.hints import BAO_HINT_SETS
+from repro.plans.physical import PlanNode
+from repro.sql.binder import BoundQuery
+from repro.workloads.workload import BenchmarkQuery
+
+
+class LeonOptimizer(BaseOptimizer):
+    """Learning-to-rank guided plan enumeration with per-class pruning."""
+
+    name = "leon"
+
+    def __init__(
+        self,
+        env: LQOEnvironment,
+        candidates_per_class: int = 2,
+        max_dp_relations: int = 7,
+        beam_width: int = 6,
+        executed_candidates_per_query: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(env)
+        self.candidates_per_class = candidates_per_class
+        self.max_dp_relations = max_dp_relations
+        self.beam_width = beam_width
+        self.executed_candidates_per_query = executed_candidates_per_query
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._ranker = PairwiseRanker(input_size=env.query_plan_vector_size, seed=seed + 7)
+
+    # ------------------------------------------------------------------ features
+    def _features(self, query: BoundQuery, plan: PlanNode) -> np.ndarray:
+        return self.env.query_plan_vector(query, plan)
+
+    def _score(self, query: BoundQuery, plans: list[PlanNode]) -> np.ndarray:
+        """Rank candidate plans: learned score when trained, else cost estimates."""
+        if not plans:
+            return np.empty(0)
+        if self._ranker.is_trained:
+            matrix = np.vstack([self._features(query, plan) for plan in plans])
+            return self._ranker.score(matrix)
+        return np.asarray([plan.estimated_cost for plan in plans])
+
+    # ------------------------------------------------------------------ training
+    def _candidate_plans_for_training(self, query: BenchmarkQuery) -> list[PlanNode]:
+        """Diverse candidate plans: the DBMS plan, hint-set plans and random orders."""
+        from repro.optimizer.enumeration import left_deep_plan_from_order
+
+        plans: list[PlanNode] = []
+        seen: set[str] = set()
+
+        def add(plan: PlanNode) -> None:
+            signature = plan.pretty()
+            if signature not in seen:
+                seen.add(signature)
+                plans.append(plan)
+
+        add(self.env.plan_with_hints(query.bound).plan)
+        for arm in BAO_HINT_SETS[1:4]:
+            add(self.env.plan_with_hints(query.bound, arm).plan)
+        aliases = list(query.bound.aliases)
+        for _ in range(2):
+            order = list(aliases)
+            self._rng.shuffle(order)
+            add(left_deep_plan_from_order(query.bound, self.env.planner.cost_model, order))
+        return plans
+
+    def fit(self, train_queries: list[BenchmarkQuery]) -> TrainingReport:
+        def body(queries: list[BenchmarkQuery]) -> int:
+            better_rows: list[np.ndarray] = []
+            worse_rows: list[np.ndarray] = []
+            for query in queries:
+                candidates = self._candidate_plans_for_training(query)
+                candidates = candidates[: self.executed_candidates_per_query]
+                measured: list[tuple[float, np.ndarray]] = []
+                for plan in candidates:
+                    latency, timed_out = self.env.training_latency(query.bound, plan)
+                    if timed_out:
+                        latency = latency * 2.0
+                    measured.append((latency, self._features(query.bound, plan)))
+                measured.sort(key=lambda item: item[0])
+                for (fast_latency, fast_vec), (slow_latency, slow_vec) in combinations(measured, 2):
+                    if slow_latency <= fast_latency * 1.02:
+                        continue  # skip near-ties; they carry no ranking signal
+                    better_rows.append(fast_vec)
+                    worse_rows.append(slow_vec)
+            if better_rows:
+                self._ranker = PairwiseRanker(
+                    input_size=self.env.query_plan_vector_size, seed=self.seed + 7
+                )
+                self._ranker.fit_pairs(
+                    np.vstack(better_rows), np.vstack(worse_rows), epochs=50, seed=self.seed
+                )
+            return 1
+
+        return self._timed_fit(body, train_queries)
+
+    # ------------------------------------------------------------------ inference
+    def _dp_enumerate(self, query: BoundQuery) -> PlanNode:
+        """DP over connected subsets keeping the top-k ranked candidates per class."""
+        cost_model = self.env.planner.cost_model
+        aliases = list(query.aliases)
+        index_of = {alias: i for i, alias in enumerate(aliases)}
+        n = len(aliases)
+        table: dict[int, list[PlanNode]] = {}
+        for alias in aliases:
+            table[1 << index_of[alias]] = [cost_model.best_scan(query, alias)]
+
+        for size in range(2, n + 1):
+            for combo in combinations(range(n), size):
+                mask = 0
+                for i in combo:
+                    mask |= 1 << i
+                candidates: list[PlanNode] = []
+                sub = (mask - 1) & mask
+                while sub:
+                    other = mask ^ sub
+                    if sub in table and other in table:
+                        for left in table[sub]:
+                            for right in table[other]:
+                                predicates = query.joins_between(left.aliases, right.aliases)
+                                if not predicates:
+                                    continue
+                                candidates.append(
+                                    cost_model.best_join(query, left, right, predicates=predicates)
+                                )
+                    sub = (sub - 1) & mask
+                if candidates:
+                    scores = self._score(query, candidates)
+                    order = np.argsort(scores)[: self.candidates_per_class]
+                    table[mask] = [candidates[i] for i in order]
+
+        full_mask = (1 << n) - 1
+        if full_mask in table:
+            finalists = table[full_mask]
+            scores = self._score(query, finalists)
+            return finalists[int(np.argmin(scores))]
+        return self.env.plan_with_hints(query).plan
+
+    def _beam_search(self, query: BoundQuery) -> PlanNode:
+        """Ranked beam search over left-deep orders for very large queries."""
+        cost_model = self.env.planner.cost_model
+        aliases = list(query.aliases)
+        beams: list[PlanNode] = [cost_model.best_scan(query, alias) for alias in aliases]
+        scores = self._score(query, beams)
+        order = np.argsort(scores)[: self.beam_width]
+        beams = [beams[i] for i in order]
+        for _ in range(len(aliases) - 1):
+            expansions: list[PlanNode] = []
+            for beam in beams:
+                remaining = [alias for alias in aliases if alias not in beam.aliases]
+                connected = [
+                    alias for alias in remaining if query.joins_between(beam.aliases, {alias})
+                ] or remaining
+                for alias in connected:
+                    right = cost_model.best_scan(query, alias)
+                    expansions.append(cost_model.best_join(query, beam, right))
+            if not expansions:
+                break
+            scores = self._score(query, expansions)
+            order = np.argsort(scores)[: self.beam_width]
+            beams = [expansions[i] for i in order]
+        complete = [plan for plan in beams if plan.aliases == frozenset(aliases)]
+        if complete:
+            scores = self._score(query, complete)
+            return complete[int(np.argmin(scores))]
+        return self.env.plan_with_hints(query).plan
+
+    def plan_query(self, query: BenchmarkQuery) -> PlannedQuery:
+        def body(q: BenchmarkQuery):
+            if q.bound.num_relations <= self.max_dp_relations:
+                plan = self._dp_enumerate(q.bound)
+                strategy = "ranked-dp"
+            else:
+                plan = self._beam_search(q.bound)
+                strategy = "ranked-beam"
+            hints = self.env.hints_from_plan(q.bound, plan)
+            planning_time = self.env.hinted_planning_time_ms(q.bound)
+            return plan, hints, planning_time, {"strategy": strategy}
+
+        return self._timed_inference(body, query)

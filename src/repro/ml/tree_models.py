@@ -1,0 +1,151 @@
+"""Tree-structured plan encoders: tree convolution and a Tree-LSTM-style cell.
+
+The paper's LQOs process plan trees either with tree convolutions (Neo, Bao,
+Balsa, Lero, LEON) or Tree-LSTMs (RTOS, LOGER, HybridQO).  Here both are
+implemented as *fixed-weight* recursive composition functions: the composition
+matrices are drawn once from a seeded random generator and never trained,
+while the downstream MLP head (``repro.ml.nn``) is the trainable part.
+
+This is a deliberate, documented simplification (DESIGN.md §2): it preserves
+what matters for the paper's analysis — the representation is a function of
+the *tree structure* and of the per-node operator/table/cardinality features —
+while keeping the backpropagation machinery limited to the MLP head.  The same
+simplification is applied to every method, so comparisons stay apples to
+apples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.plan_encoding import EncodedPlanTree, PlanTreeEncoder
+from repro.errors import ModelError
+from repro.plans.physical import PlanNode
+
+
+class TreeConvolutionEncoder:
+    """Recursive tree-convolution-style composition with max-pooling readout.
+
+    Each node's hidden state is ``tanh(W_root x + W_left h_left + W_right
+    h_right)``; the plan representation is the concatenation of the root state
+    and the element-wise max over all node states (dynamic pooling).
+    """
+
+    def __init__(
+        self,
+        plan_encoder: PlanTreeEncoder,
+        hidden_size: int = 64,
+        seed: int = 17,
+    ) -> None:
+        if hidden_size <= 0:
+            raise ModelError("hidden size must be positive")
+        self.plan_encoder = plan_encoder
+        self.hidden_size = hidden_size
+        rng = np.random.default_rng(seed)
+        feature_size = plan_encoder.node_feature_size
+        scale_x = 1.0 / np.sqrt(feature_size)
+        scale_h = 1.0 / np.sqrt(hidden_size)
+        self._w_root = rng.normal(0.0, scale_x, size=(feature_size, hidden_size))
+        self._w_left = rng.normal(0.0, scale_h, size=(hidden_size, hidden_size))
+        self._w_right = rng.normal(0.0, scale_h, size=(hidden_size, hidden_size))
+        self._bias = rng.normal(0.0, 0.01, size=hidden_size)
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.hidden_size
+
+    def encode_tree(self, tree: EncodedPlanTree) -> np.ndarray:
+        """Encode an already-vectorized plan tree."""
+        states: list[np.ndarray] = []
+
+        def compose(node: EncodedPlanTree) -> np.ndarray:
+            left = compose(node.left) if node.left is not None else np.zeros(self.hidden_size)
+            right = compose(node.right) if node.right is not None else np.zeros(self.hidden_size)
+            state = np.tanh(
+                node.features @ self._w_root + left @ self._w_left + right @ self._w_right + self._bias
+            )
+            states.append(state)
+            return state
+
+        root = compose(tree)
+        pooled = np.max(np.vstack(states), axis=0)
+        return np.concatenate([root, pooled]).astype(np.float64)
+
+    def encode_plan(self, plan: PlanNode) -> np.ndarray:
+        """Encode a physical plan directly."""
+        return self.encode_tree(self.plan_encoder.encode(plan))
+
+
+class TreeLSTMEncoder:
+    """A child-sum Tree-LSTM-style composition with fixed random gates.
+
+    Hidden and cell states are composed bottom-up; the representation is the
+    concatenation of the root hidden state and the mean hidden state over all
+    nodes (the "pooling" aggregation listed for the Tree-LSTM methods in
+    Table 1).
+    """
+
+    def __init__(
+        self,
+        plan_encoder: PlanTreeEncoder,
+        hidden_size: int = 64,
+        seed: int = 23,
+    ) -> None:
+        if hidden_size <= 0:
+            raise ModelError("hidden size must be positive")
+        self.plan_encoder = plan_encoder
+        self.hidden_size = hidden_size
+        rng = np.random.default_rng(seed)
+        feature_size = plan_encoder.node_feature_size
+        scale_x = 1.0 / np.sqrt(feature_size)
+        scale_h = 1.0 / np.sqrt(hidden_size)
+
+        def w_x():
+            return rng.normal(0.0, scale_x, size=(feature_size, hidden_size))
+
+        def w_h():
+            return rng.normal(0.0, scale_h, size=(hidden_size, hidden_size))
+
+        self._wi_x, self._wi_h = w_x(), w_h()
+        self._wf_x, self._wf_h = w_x(), w_h()
+        self._wo_x, self._wo_h = w_x(), w_h()
+        self._wu_x, self._wu_h = w_x(), w_h()
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.hidden_size
+
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def encode_tree(self, tree: EncodedPlanTree) -> np.ndarray:
+        hidden_states: list[np.ndarray] = []
+
+        def compose(node: EncodedPlanTree) -> tuple[np.ndarray, np.ndarray]:
+            children = [child for child in (node.left, node.right) if child is not None]
+            if children:
+                child_states = [compose(child) for child in children]
+                h_sum = np.sum([h for h, _ in child_states], axis=0)
+                c_children = [c for _, c in child_states]
+            else:
+                h_sum = np.zeros(self.hidden_size)
+                c_children = []
+            x = node.features
+            i = self._sigmoid(x @ self._wi_x + h_sum @ self._wi_h)
+            o = self._sigmoid(x @ self._wo_x + h_sum @ self._wo_h)
+            u = np.tanh(x @ self._wu_x + h_sum @ self._wu_h)
+            c = i * u
+            for c_child in c_children:
+                f = self._sigmoid(x @ self._wf_x + c_child @ self._wf_h)
+                c = c + f * c_child
+            h = o * np.tanh(c)
+            hidden_states.append(h)
+            return h, c
+
+        root_h, _ = compose(tree)
+        mean_h = np.mean(np.vstack(hidden_states), axis=0)
+        return np.concatenate([root_h, mean_h]).astype(np.float64)
+
+    def encode_plan(self, plan: PlanNode) -> np.ndarray:
+        return self.encode_tree(self.plan_encoder.encode(plan))

@@ -1,0 +1,33 @@
+"""The classical, PostgreSQL-style cost-based optimizer of the simulated DBMS.
+
+Components:
+
+* :mod:`repro.optimizer.cardinality` — selectivity and cardinality estimation
+  from ``ANALYZE`` statistics under independence/uniformity assumptions,
+* :mod:`repro.optimizer.cost_model` — a PostgreSQL-flavoured cost model over
+  the physical operators,
+* :mod:`repro.optimizer.enumeration` — System-R dynamic-programming join
+  enumeration (left-deep and bushy) plus exhaustive enumeration utilities used
+  by the Section 8.7 plan-shape study,
+* :mod:`repro.optimizer.geqo` — the genetic query optimizer used for queries
+  with many relations,
+* :mod:`repro.optimizer.planner` — the top-level planner that honours the
+  configuration knobs and planner hints.
+"""
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel, JOIN_TYPE_ORDER
+from repro.optimizer.enumeration import DPEnumerator, enumerate_join_trees
+from repro.optimizer.geqo import GeqoEnumerator
+from repro.optimizer.planner import Planner, PlannerResult
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "JOIN_TYPE_ORDER",
+    "DPEnumerator",
+    "enumerate_join_trees",
+    "GeqoEnumerator",
+    "Planner",
+    "PlannerResult",
+]

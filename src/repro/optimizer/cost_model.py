@@ -1,0 +1,405 @@
+"""PostgreSQL-flavoured cost model over the physical operators.
+
+Costs are expressed in the usual abstract cost units (``seq_page_cost = 1``).
+The formulas follow the structure of PostgreSQL's ``costsize.c`` but are
+simplified to what the simulated executor actually models: page I/O split
+into sequential and random accesses, per-tuple CPU costs, hash build/probe
+costs, sort costs and a work_mem spill penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.config import PAGE_SIZE_BYTES, PostgresConfig
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.plans.hints import HintSet, NO_HINTS
+from repro.plans.physical import JoinNode, JoinType, PlanNode, ScanNode, ScanType
+from repro.sql.binder import BoundQuery, FilterPredicate, JoinPredicate
+from repro.storage.database import Database
+
+#: Deterministic ordering of join types for tie-breaking.
+JOIN_TYPE_ORDER: tuple[JoinType, ...] = (JoinType.HASH, JoinType.MERGE, JoinType.NESTED_LOOP)
+
+#: Deterministic ordering of scan types for tie-breaking.
+SCAN_TYPE_ORDER: tuple[ScanType, ...] = (
+    ScanType.SEQ,
+    ScanType.INDEX,
+    ScanType.BITMAP,
+    ScanType.TID,
+)
+
+
+@dataclass(frozen=True)
+class OperatorEnables:
+    """Effective operator availability after merging config and hint toggles."""
+
+    seqscan: bool
+    indexscan: bool
+    bitmapscan: bool
+    tidscan: bool
+    nestloop: bool
+    hashjoin: bool
+    mergejoin: bool
+
+    def allowed_scan_types(self) -> list[ScanType]:
+        allowed = []
+        if self.seqscan:
+            allowed.append(ScanType.SEQ)
+        if self.indexscan:
+            allowed.append(ScanType.INDEX)
+        if self.bitmapscan:
+            allowed.append(ScanType.BITMAP)
+        if self.tidscan:
+            allowed.append(ScanType.TID)
+        return allowed
+
+    def allowed_join_types(self) -> list[JoinType]:
+        allowed = []
+        if self.hashjoin:
+            allowed.append(JoinType.HASH)
+        if self.mergejoin:
+            allowed.append(JoinType.MERGE)
+        if self.nestloop:
+            allowed.append(JoinType.NESTED_LOOP)
+        return allowed
+
+
+class CostModel:
+    """Estimates the cost of scans, joins and whole plans."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: PostgresConfig | None = None,
+        estimator: CardinalityEstimator | None = None,
+    ) -> None:
+        self._db = database
+        self.config = config or database.config
+        self.estimator = estimator or CardinalityEstimator(database)
+
+    # ------------------------------------------------------------------ toggles
+    def resolve_enables(self, hints: HintSet = NO_HINTS) -> OperatorEnables:
+        """Merge the configuration's ``enable_*`` knobs with hint toggles."""
+        cfg = self.config
+        toggles = hints.toggles
+        def pick(hint_value: bool | None, config_value: bool) -> bool:
+            return config_value if hint_value is None else hint_value
+
+        return OperatorEnables(
+            seqscan=pick(toggles.seqscan, cfg.enable_seqscan),
+            indexscan=pick(toggles.indexscan, cfg.enable_indexscan),
+            bitmapscan=pick(toggles.bitmapscan, cfg.enable_bitmapscan),
+            tidscan=cfg.enable_tidscan,
+            nestloop=pick(toggles.nestloop, cfg.enable_nestloop),
+            hashjoin=pick(toggles.hashjoin, cfg.enable_hashjoin),
+            mergejoin=pick(toggles.mergejoin, cfg.enable_mergejoin),
+        )
+
+    # -------------------------------------------------------------------- scans
+    def _table_geometry(self, query: BoundQuery, alias: str) -> tuple[float, float]:
+        """(row_count, page_count) of the base relation behind ``alias``."""
+        stats = self._db.statistics(query.table_of(alias))
+        return float(stats.row_count), float(stats.page_count)
+
+    def _driving_filter(
+        self, query: BoundQuery, alias: str
+    ) -> tuple[FilterPredicate | None, float]:
+        """Most selective filter on an *indexed* column, used to drive index scans."""
+        table = query.table_of(alias)
+        best: FilterPredicate | None = None
+        best_sel = 1.0
+        for predicate in query.filters_for(alias):
+            if predicate.op in ("is_null", "is_not_null", "not_in", "not_like", "like", "!="):
+                continue
+            if not self._db.has_index(table, predicate.column):
+                continue
+            sel = self.estimator.filter_selectivity(query, predicate)
+            if sel < best_sel:
+                best = predicate
+                best_sel = sel
+        return best, best_sel
+
+    def candidate_scans(
+        self, query: BoundQuery, alias: str, hints: HintSet = NO_HINTS
+    ) -> list[ScanNode]:
+        """All allowed scan alternatives for one alias, with estimates attached."""
+        enables = self.resolve_enables(hints)
+        forced = hints.scan_method_for(alias)
+        table = query.table_of(alias)
+        filters = tuple(query.filters_for(alias))
+        rows, pages = self._table_geometry(query, alias)
+        out_rows = self.estimator.base_rows(query, alias)
+        cfg = self.config
+
+        driving, driving_sel = self._driving_filter(query, alias)
+        pk = self._db.schema.table(table).primary_key
+
+        candidates: list[ScanNode] = []
+
+        def add(scan_type: ScanType, cost: float, index_column: str | None = None) -> None:
+            node = ScanNode(
+                alias=alias,
+                table=table,
+                scan_type=scan_type,
+                filters=filters,
+                index_column=index_column,
+            ).with_estimates(out_rows, cost)
+            candidates.append(node)  # type: ignore[arg-type]
+
+        # Sequential scan: always considered (PostgreSQL keeps it as fallback,
+        # `enable_seqscan=off` only disables it via a cost penalty).
+        seq_cost = (
+            pages * cfg.seq_page_cost
+            + rows * cfg.cpu_tuple_cost
+            + rows * len(filters) * cfg.cpu_operator_cost
+        )
+        if not enables.seqscan and forced is not ScanType.SEQ:
+            seq_cost += 1.0e7
+        if forced in (None, ScanType.SEQ):
+            add(ScanType.SEQ, seq_cost)
+
+        if driving is not None:
+            index = self._db.index(table, driving.column)
+            if index is not None:
+                leaf_pages = float(index.page_count)
+                height = float(index.height)
+                matched = max(rows * driving_sel, 1.0)
+                heap_pages_fetched = min(matched, pages)
+
+                if enables.indexscan or forced is ScanType.INDEX:
+                    index_cost = (
+                        (height + driving_sel * leaf_pages) * cfg.random_page_cost
+                        + heap_pages_fetched * cfg.random_page_cost * 0.75
+                        + matched * (cfg.cpu_index_tuple_cost + cfg.cpu_tuple_cost)
+                        + matched * len(filters) * cfg.cpu_operator_cost
+                    )
+                    if forced in (None, ScanType.INDEX):
+                        add(ScanType.INDEX, index_cost, index_column=driving.column)
+
+                if enables.bitmapscan or forced is ScanType.BITMAP:
+                    bitmap_pages = min(2.0 * matched / max(1.0, rows / pages), pages)
+                    bitmap_cost = (
+                        (height + driving_sel * leaf_pages) * cfg.random_page_cost
+                        + bitmap_pages * (cfg.seq_page_cost * 1.5)
+                        + matched * (cfg.cpu_index_tuple_cost + cfg.cpu_tuple_cost)
+                        + matched * len(filters) * cfg.cpu_operator_cost
+                    )
+                    if forced in (None, ScanType.BITMAP):
+                        add(ScanType.BITMAP, bitmap_cost, index_column=driving.column)
+
+        # Tid scan: only attractive for an equality filter on the primary key.
+        if (enables.tidscan or forced is ScanType.TID) and pk is not None:
+            pk_eq = [
+                f for f in filters if f.column == pk and f.op == "=" and self._db.has_index(table, pk)
+            ]
+            if pk_eq and forced in (None, ScanType.TID):
+                tid_cost = cfg.random_page_cost + cfg.cpu_tuple_cost + len(filters) * cfg.cpu_operator_cost
+                add(ScanType.TID, tid_cost, index_column=pk)
+
+        if forced is not None and not candidates:
+            # The forced scan type is structurally impossible (e.g. index scan
+            # without an indexed filter); fall back to a sequential scan, the
+            # same silent fallback pg_hint_plan exhibits.
+            add(ScanType.SEQ, seq_cost)
+        if not candidates:
+            add(ScanType.SEQ, seq_cost)
+        return candidates
+
+    def best_scan(self, query: BoundQuery, alias: str, hints: HintSet = NO_HINTS) -> ScanNode:
+        """Cheapest allowed scan for an alias (honouring forced scan methods)."""
+        candidates = self.candidate_scans(query, alias, hints)
+        order = {stype: i for i, stype in enumerate(SCAN_TYPE_ORDER)}
+        return min(candidates, key=lambda n: (n.estimated_cost, order[n.scan_type]))
+
+    # --------------------------------------------------------------------- joins
+    def _row_width(self, aliases: Iterable[str], query: BoundQuery) -> float:
+        width = 0.0
+        for alias in aliases:
+            width += self._db.schema.table(query.table_of(alias)).row_width_bytes
+        return max(width, 8.0)
+
+    def _inner_index(self, query: BoundQuery, plan: PlanNode, predicates: Sequence[JoinPredicate]):
+        """Index usable for an index nested-loop into ``plan`` (a base scan), if any."""
+        if not isinstance(plan, ScanNode):
+            return None, None
+        for predicate in predicates:
+            if predicate.involves(plan.alias):
+                column = predicate.column_for(plan.alias)
+                index = self._db.index(plan.table, column)
+                if index is not None:
+                    return index, column
+        return None, None
+
+    def join_cost(
+        self,
+        query: BoundQuery,
+        join_type: JoinType,
+        left: PlanNode,
+        right: PlanNode,
+        predicates: Sequence[JoinPredicate],
+    ) -> float:
+        """Total cost (including input costs) of joining ``left`` and ``right``."""
+        cfg = self.config
+        left_rows = max(left.estimated_rows, 1.0)
+        right_rows = max(right.estimated_rows, 1.0)
+        left_cost = max(left.estimated_cost, 0.0)
+        right_cost = max(right.estimated_cost, 0.0)
+        out_rows = self.estimator.join_rows(query, left_rows, right_rows, predicates)
+        cross_penalty = 0.0 if predicates else left_rows * right_rows * cfg.cpu_operator_cost
+
+        if join_type is JoinType.HASH:
+            inner_bytes = right_rows * self._row_width(right.aliases, query)
+            spill = inner_bytes > cfg.work_mem
+            cost = (
+                left_cost
+                + right_cost
+                + right_rows * cfg.cpu_operator_cost * 1.5  # build
+                + left_rows * cfg.cpu_operator_cost  # probe
+                + out_rows * cfg.cpu_tuple_cost
+                + cross_penalty
+            )
+            if spill:
+                spill_pages = inner_bytes / PAGE_SIZE_BYTES
+                cost += 2.0 * spill_pages * cfg.seq_page_cost
+            return cost
+
+        if join_type is JoinType.MERGE:
+            def sort_cost(rows: float, already_sorted: bool) -> float:
+                if already_sorted or rows <= 1:
+                    return 0.0
+                return rows * math.log2(max(rows, 2.0)) * cfg.cpu_operator_cost * 2.0
+
+            left_sorted = self._is_sorted_on_join_key(left, predicates)
+            right_sorted = self._is_sorted_on_join_key(right, predicates)
+            cost = (
+                left_cost
+                + right_cost
+                + sort_cost(left_rows, left_sorted)
+                + sort_cost(right_rows, right_sorted)
+                + (left_rows + right_rows) * cfg.cpu_operator_cost
+                + out_rows * cfg.cpu_tuple_cost
+                + cross_penalty
+            )
+            return cost
+
+        if join_type is JoinType.NESTED_LOOP:
+            index, _column = self._inner_index(query, right, predicates)
+            if index is not None and isinstance(right, ScanNode):
+                probe_cost = (
+                    float(index.height) * cfg.random_page_cost * 0.5
+                    + cfg.cpu_index_tuple_cost
+                    + max(right_rows / max(float(index.entry_count), 1.0), 1.0) * cfg.cpu_tuple_cost
+                )
+                cost = (
+                    left_cost
+                    + left_rows * probe_cost
+                    + out_rows * cfg.cpu_tuple_cost
+                )
+            else:
+                # Materialized nested loop: the inner is evaluated once and
+                # re-scanned from memory for every outer tuple.
+                cost = (
+                    left_cost
+                    + right_cost
+                    + left_rows * right_rows * cfg.cpu_operator_cost
+                    + out_rows * cfg.cpu_tuple_cost
+                )
+            return cost + cross_penalty
+
+        raise OptimizerError(f"unknown join type {join_type!r}")
+
+    def _is_sorted_on_join_key(self, plan: PlanNode, predicates: Sequence[JoinPredicate]) -> bool:
+        if not isinstance(plan, ScanNode) or plan.scan_type is not ScanType.INDEX:
+            return False
+        for predicate in predicates:
+            if predicate.involves(plan.alias) and predicate.column_for(plan.alias) == plan.index_column:
+                return True
+        return False
+
+    def join_node(
+        self,
+        query: BoundQuery,
+        join_type: JoinType,
+        left: PlanNode,
+        right: PlanNode,
+        predicates: Sequence[JoinPredicate] | None = None,
+    ) -> JoinNode:
+        """Build a join node of a specific type with estimates attached."""
+        if predicates is None:
+            predicates = query.joins_between(left.aliases, right.aliases)
+        cost = self.join_cost(query, join_type, left, right, predicates)
+        rows = self.estimator.join_rows(
+            query, max(left.estimated_rows, 1.0), max(right.estimated_rows, 1.0), predicates
+        )
+        node = JoinNode(
+            join_type=join_type,
+            left=left,
+            right=right,
+            predicates=tuple(predicates),
+        )
+        return node.with_estimates(rows, cost)  # type: ignore[return-value]
+
+    def best_join(
+        self,
+        query: BoundQuery,
+        left: PlanNode,
+        right: PlanNode,
+        hints: HintSet = NO_HINTS,
+        predicates: Sequence[JoinPredicate] | None = None,
+    ) -> JoinNode:
+        """Cheapest allowed join between two sub-plans (considering both orientations
+        only for the inner/outer-sensitive operators via the caller's symmetry)."""
+        if predicates is None:
+            predicates = query.joins_between(left.aliases, right.aliases)
+        enables = self.resolve_enables(hints)
+        forced = hints.join_method_for(left.aliases | right.aliases)
+        if forced is not None:
+            allowed = [forced]
+        else:
+            allowed = enables.allowed_join_types()
+            if not allowed:
+                allowed = list(JOIN_TYPE_ORDER)
+        best: JoinNode | None = None
+        order = {jtype: i for i, jtype in enumerate(JOIN_TYPE_ORDER)}
+        for join_type in allowed:
+            node = self.join_node(query, join_type, left, right, predicates)
+            if best is None or (node.estimated_cost, order[node.join_type]) < (
+                best.estimated_cost,
+                order[best.join_type],
+            ):
+                best = node
+        assert best is not None
+        return best
+
+    # ---------------------------------------------------------------------- plans
+    def plan_cost(self, plan: PlanNode) -> float:
+        """Total estimated cost of a plan (already attached by construction)."""
+        return float(plan.estimated_cost)
+
+    def recost_plan(self, query: BoundQuery, plan: PlanNode) -> PlanNode:
+        """Re-derive estimates for an externally constructed plan tree.
+
+        Used when a learned optimizer builds a plan structurally (e.g. from its
+        own search) and estimates need to be attached for encoding/EXPLAIN.
+        """
+        if isinstance(plan, ScanNode):
+            fresh = self.candidate_scans(query, plan.alias)
+            for candidate in fresh:
+                if candidate.scan_type is plan.scan_type and candidate.index_column == plan.index_column:
+                    return candidate
+            # Scan type no longer available: keep structure, recompute rows.
+            rows = self.estimator.base_rows(query, plan.alias)
+            return plan.with_estimates(rows, fresh[0].estimated_cost)
+        if isinstance(plan, JoinNode):
+            assert plan.left is not None and plan.right is not None
+            left = self.recost_plan(query, plan.left)
+            right = self.recost_plan(query, plan.right)
+            return self.join_node(query, plan.join_type, left, right, plan.predicates or None)
+        children = plan.children()
+        if not children:
+            return plan
+        raise OptimizerError(f"cannot re-cost node type {type(plan).__name__}")

@@ -1,0 +1,263 @@
+"""Join-order enumeration: System-R dynamic programming, greedy fallback and
+exhaustive join-tree enumeration.
+
+* :class:`DPEnumerator` — the classical bottom-up dynamic programming over
+  connected sub-sets of relations, considering bushy trees when the
+  configuration allows them.
+* :func:`greedy_plan` — a cheap greedy enumerator used when dynamic
+  programming would be too expensive and GEQO is disabled.
+* :func:`left_deep_plan_from_order` — builds a plan for an explicit join
+  order; shared by the GEQO fitness function, hint handling and several LQOs.
+* :func:`enumerate_join_trees` — exhaustively enumerates all join-tree shapes
+  of a (small) query; used by the Section 8.7 bushy-vs-left-deep study.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+import networkx as nx
+
+from repro.errors import OptimizerError
+from repro.optimizer.cost_model import CostModel
+from repro.plans.hints import HintSet, NO_HINTS
+from repro.plans.physical import JoinNode, PlanNode, ScanNode
+from repro.sql.binder import BoundQuery
+
+
+def _connected(graph: nx.Graph, aliases: frozenset[str]) -> bool:
+    if len(aliases) <= 1:
+        return True
+    sub = graph.subgraph(aliases)
+    return nx.is_connected(sub)
+
+
+def left_deep_plan_from_order(
+    query: BoundQuery,
+    cost_model: CostModel,
+    order: Sequence[str],
+    hints: HintSet = NO_HINTS,
+) -> PlanNode:
+    """Build a left-deep plan joining relations in the given order.
+
+    Scan and join methods are chosen by the cost model unless the hint set
+    forces them.  Cross products are allowed (they simply cost a lot), which
+    lets GEQO evaluate arbitrary permutations.
+    """
+    if not order:
+        raise OptimizerError("cannot build a plan for an empty join order")
+    missing = set(order) - set(query.aliases)
+    if missing:
+        raise OptimizerError(f"join order references unknown aliases {sorted(missing)}")
+    plan: PlanNode = cost_model.best_scan(query, order[0], hints)
+    for alias in order[1:]:
+        right = cost_model.best_scan(query, alias, hints)
+        plan = cost_model.best_join(query, plan, right, hints)
+    return plan
+
+
+def greedy_plan(
+    query: BoundQuery,
+    cost_model: CostModel,
+    hints: HintSet = NO_HINTS,
+) -> PlanNode:
+    """Greedy enumeration: repeatedly merge the cheapest joinable pair of sub-plans.
+
+    Produces bushy plans when beneficial.  Used for very large queries when
+    dynamic programming is infeasible and GEQO is disabled.
+    """
+    plans: list[PlanNode] = [cost_model.best_scan(query, alias, hints) for alias in query.aliases]
+    if not plans:
+        raise OptimizerError("query has no relations")
+    while len(plans) > 1:
+        connected_pairs: list[tuple[int, int]] = []
+        all_pairs: list[tuple[int, int]] = []
+        for i, j in combinations(range(len(plans)), 2):
+            all_pairs.append((i, j))
+            if query.joins_between(plans[i].aliases, plans[j].aliases):
+                connected_pairs.append((i, j))
+        candidates = connected_pairs or all_pairs
+        best_pair: tuple[int, int] | None = None
+        best_join: JoinNode | None = None
+        for i, j in candidates:
+            predicates = query.joins_between(plans[i].aliases, plans[j].aliases)
+            join = cost_model.best_join(query, plans[i], plans[j], hints, predicates)
+            if best_join is None or join.estimated_cost < best_join.estimated_cost:
+                best_join = join
+                best_pair = (i, j)
+        assert best_pair is not None and best_join is not None
+        i, j = best_pair
+        remaining = [p for k, p in enumerate(plans) if k not in (i, j)]
+        remaining.append(best_join)
+        plans = remaining
+    return plans[0]
+
+
+class DPEnumerator:
+    """System-R style dynamic programming over connected relation subsets."""
+
+    def __init__(self, cost_model: CostModel, consider_bushy: bool | None = None) -> None:
+        self.cost_model = cost_model
+        if consider_bushy is None:
+            consider_bushy = cost_model.config.enable_bushy_plans
+        self.consider_bushy = consider_bushy
+
+    def plan(self, query: BoundQuery, hints: HintSet = NO_HINTS) -> PlanNode:
+        """Return the cheapest plan found by dynamic programming."""
+        aliases = list(query.aliases)
+        n = len(aliases)
+        if n == 0:
+            raise OptimizerError("query has no relations")
+        if n == 1:
+            return self.cost_model.best_scan(query, aliases[0], hints)
+        if n > 14:
+            # 2^n subsets becomes impractical in pure Python; callers should
+            # route such queries to GEQO or the greedy enumerator.
+            raise OptimizerError(
+                f"dynamic programming over {n} relations is not supported; use GEQO"
+            )
+
+        graph = query.join_graph()
+        fully_connected = query.is_connected()
+        index_of = {alias: i for i, alias in enumerate(aliases)}
+
+        best: dict[int, PlanNode] = {}
+        for alias in aliases:
+            mask = 1 << index_of[alias]
+            best[mask] = self.cost_model.best_scan(query, alias, hints)
+
+        def mask_aliases(mask: int) -> frozenset[str]:
+            return frozenset(aliases[i] for i in range(n) if mask & (1 << i))
+
+        for size in range(2, n + 1):
+            for combo in combinations(range(n), size):
+                mask = 0
+                for i in combo:
+                    mask |= 1 << i
+                subset = mask_aliases(mask)
+                if fully_connected and not _connected(graph, subset):
+                    continue
+                best_plan: PlanNode | None = None
+                # Enumerate proper, non-empty splits of the subset.
+                sub = (mask - 1) & mask
+                seen_connected_split = False
+                candidates: list[tuple[int, int]] = []
+                while sub:
+                    other = mask ^ sub
+                    if sub in best and other in best:
+                        candidates.append((sub, other))
+                    sub = (sub - 1) & mask
+                # First pass: splits connected by at least one join predicate.
+                for sub_mask, other_mask in candidates:
+                    if not self.consider_bushy and bin(other_mask).count("1") != 1:
+                        # Left-deep only: the inner (right) input must be a base
+                        # relation.  Both orientations of every split are
+                        # enumerated, so no plans are lost.
+                        continue
+                    left = best[sub_mask]
+                    right = best[other_mask]
+                    predicates = query.joins_between(left.aliases, right.aliases)
+                    if not predicates:
+                        continue
+                    seen_connected_split = True
+                    join = self.cost_model.best_join(query, left, right, hints, predicates)
+                    if best_plan is None or join.estimated_cost < best_plan.estimated_cost:
+                        best_plan = join
+                # Second pass (only if necessary): allow cross products.
+                if best_plan is None and not seen_connected_split:
+                    for sub_mask, other_mask in candidates:
+                        if not self.consider_bushy:
+                            if bin(sub_mask).count("1") != 1 and bin(other_mask).count("1") != 1:
+                                continue
+                        left = best[sub_mask]
+                        right = best[other_mask]
+                        join = self.cost_model.best_join(query, left, right, hints, [])
+                        if best_plan is None or join.estimated_cost < best_plan.estimated_cost:
+                            best_plan = join
+                if best_plan is not None:
+                    best[mask] = best_plan
+
+        full_mask = (1 << n) - 1
+        if full_mask not in best:
+            # The join graph is disconnected in a way the DP table did not
+            # cover; fall back to the greedy enumerator.
+            return greedy_plan(query, self.cost_model, hints)
+        return best[full_mask]
+
+
+def enumerate_join_trees(
+    query: BoundQuery,
+    cost_model: CostModel,
+    hints: HintSet = NO_HINTS,
+    max_relations: int = 7,
+    allow_cross_products: bool = False,
+) -> Iterator[PlanNode]:
+    """Exhaustively enumerate every join-tree shape of a small query.
+
+    Every yielded plan covers all relations; scan and join methods are picked
+    by the cost model per node.  Shapes include left-deep, right-deep, zigzag
+    and bushy trees — exactly the space analysed in Section 8.7.
+    """
+    aliases = list(query.aliases)
+    n = len(aliases)
+    if n > max_relations:
+        raise OptimizerError(
+            f"refusing to exhaustively enumerate {n} relations (max {max_relations})"
+        )
+    if n == 0:
+        raise OptimizerError("query has no relations")
+
+    scans = {alias: cost_model.best_scan(query, alias, hints) for alias in aliases}
+
+    def build(subset: frozenset[str]) -> Iterator[PlanNode]:
+        if len(subset) == 1:
+            (alias,) = subset
+            yield scans[alias]
+            return
+        members = sorted(subset)
+        anchor = members[0]
+        rest = members[1:]
+        # Enumerate unordered splits by always keeping the anchor on the left.
+        for r in range(0, len(rest) + 1):
+            for right_members in combinations(rest, r):
+                right_set = frozenset(right_members)
+                left_set = subset - right_set
+                if not right_set or not left_set:
+                    continue
+                predicates = query.joins_between(left_set, right_set)
+                if not predicates and not allow_cross_products:
+                    continue
+                for left_plan in build(left_set):
+                    for right_plan in build(right_set):
+                        yield cost_model.best_join(query, left_plan, right_plan, hints, predicates)
+                        # Also yield the mirrored orientation: inner/outer roles
+                        # matter for nested-loop and hash joins.
+                        yield cost_model.best_join(query, right_plan, left_plan, hints, predicates)
+
+    yield from build(frozenset(aliases))
+
+
+def count_join_tree_shapes(n_relations: int) -> int:
+    """Number of ordered binary join trees over ``n`` distinct relations.
+
+    Equals ``n! * Catalan(n - 1)`` — the quantity behind the paper's remark
+    that there are far more bushy than left-deep plans.
+    """
+    if n_relations <= 0:
+        return 0
+    catalan = 1
+    for i in range(2, n_relations):
+        catalan = catalan * (n_relations - 1 + i) // i
+    factorial = 1
+    for i in range(2, n_relations + 1):
+        factorial *= i
+    return factorial * catalan
+
+
+def count_left_deep_orders(n_relations: int) -> int:
+    """Number of left-deep join orders (simply ``n!``)."""
+    total = 1
+    for i in range(2, n_relations + 1):
+        total *= i
+    return total

@@ -1,0 +1,21 @@
+"""Columnar storage, ordered indexes and the buffer pool of the simulated DBMS.
+
+The storage layer keeps every table as dictionary-encoded numpy columns
+(:class:`TableData`), maintains ordered per-column indexes for index scans and
+index nested-loop joins, and models a page-level buffer pool
+(:class:`BufferPool`) whose hit/miss behaviour drives the cold-vs-hot cache
+latency effects studied in Sections 3.3.2, 7.3 and 8.6 of the paper.
+"""
+
+from repro.storage.table_data import TableData
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+from repro.storage.index import OrderedIndex
+from repro.storage.database import Database
+
+__all__ = [
+    "TableData",
+    "BufferPool",
+    "BufferPoolStats",
+    "OrderedIndex",
+    "Database",
+]

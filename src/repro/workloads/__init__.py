@@ -1,0 +1,22 @@
+"""Benchmark workloads: JOB-style, STACK-style and Ext-JOB query families.
+
+A :class:`Workload` is an ordered collection of :class:`BenchmarkQuery`
+objects, each tagged with the base-query family it was generated from.  The
+family structure (e.g. JOB's ``1a``/``1b``/``1c``/``1d`` variants of base
+query 1) is what the paper's three dataset-split strategies operate on
+(Section 7.2), so it is a first-class concept here.
+"""
+
+from repro.workloads.workload import BenchmarkQuery, Workload
+from repro.workloads.job import build_job_workload, JOB_FAMILY_SIZES
+from repro.workloads.stack import build_stack_workload
+from repro.workloads.ext_job import build_ext_job_workload
+
+__all__ = [
+    "BenchmarkQuery",
+    "Workload",
+    "build_job_workload",
+    "JOB_FAMILY_SIZES",
+    "build_stack_workload",
+    "build_ext_job_workload",
+]

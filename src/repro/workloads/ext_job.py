@@ -1,0 +1,114 @@
+"""Ext-JOB: the extended JOB workload with operators absent from plain JOB.
+
+Neo introduced Ext-JOB to test generalization to previously unseen queries;
+the added queries contain operators (GROUP BY, ORDER BY) that do not appear in
+the original 113 (Section 6.1 of the paper).  This module generates a
+compact Ext-JOB-style workload over the synthetic IMDB schema: every family
+carries a GROUP BY and/or ORDER BY clause on top of otherwise JOB-like joins.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.imdb import COUNTRY_CODES, GENRES, KEYWORD_POOL, KIND_TYPES
+from repro.catalog.schema import Schema
+from repro.workloads.workload import QueryTemplate, Workload, build_workload_from_templates
+
+#: Families and variant counts of the extended workload (24 queries).
+EXT_JOB_FAMILY_SIZES: dict[str, int] = {
+    "e1": 4, "e2": 4, "e3": 4, "e4": 4, "e5": 4, "e6": 4,
+}
+
+
+def ext_job_templates() -> list[QueryTemplate]:
+    """Templates of the Ext-JOB-style workload (GROUP BY / ORDER BY queries)."""
+    templates: list[QueryTemplate] = []
+
+    templates.append(QueryTemplate(
+        family="e1",
+        relations=[("kt", "kind_type"), ("t", "title")],
+        joins=["t.kind_id = kt.id"],
+        n_variants=EXT_JOB_FAMILY_SIZES["e1"],
+        make_filters=lambda i: [f"t.production_year > {1980 + 10 * i}"],
+        select_list="kt.kind, COUNT(*) AS movies",
+        group_by=["kt.kind"],
+        order_by=["kt.kind"],
+    ))
+
+    templates.append(QueryTemplate(
+        family="e2",
+        relations=[("cn", "company_name"), ("mc", "movie_companies"), ("t", "title")],
+        joins=["t.id = mc.movie_id", "mc.company_id = cn.id"],
+        n_variants=EXT_JOB_FAMILY_SIZES["e2"],
+        make_filters=lambda i: [
+            f"cn.country_code = '{COUNTRY_CODES[i % len(COUNTRY_CODES)]}'",
+            f"t.production_year > {1990 + 5 * i}",
+        ],
+        select_list="cn.country_code, COUNT(*) AS productions, MIN(t.production_year) AS earliest",
+        group_by=["cn.country_code"],
+        order_by=["cn.country_code"],
+    ))
+
+    templates.append(QueryTemplate(
+        family="e3",
+        relations=[("k", "keyword"), ("mk", "movie_keyword"), ("t", "title")],
+        joins=["t.id = mk.movie_id", "mk.keyword_id = k.id"],
+        n_variants=EXT_JOB_FAMILY_SIZES["e3"],
+        make_filters=lambda i: [
+            f"k.keyword IN ('{KEYWORD_POOL[i]}', '{KEYWORD_POOL[i + 4]}')",
+        ],
+        select_list="k.keyword, COUNT(*) AS uses",
+        group_by=["k.keyword"],
+        order_by=["k.keyword"],
+    ))
+
+    templates.append(QueryTemplate(
+        family="e4",
+        relations=[("ci", "cast_info"), ("n", "name"), ("rt", "role_type"), ("t", "title")],
+        joins=["t.id = ci.movie_id", "ci.person_id = n.id", "ci.role_id = rt.id"],
+        n_variants=EXT_JOB_FAMILY_SIZES["e4"],
+        make_filters=lambda i: [
+            f"n.gender = '{['f', 'm'][i % 2]}'",
+            f"t.production_year > {1995 + 5 * (i % 4)}",
+        ],
+        select_list="rt.role, COUNT(*) AS appearances",
+        group_by=["rt.role"],
+        order_by=["rt.role"],
+    ))
+
+    templates.append(QueryTemplate(
+        family="e5",
+        relations=[("it", "info_type"), ("mi", "movie_info"), ("kt", "kind_type"),
+                   ("t", "title")],
+        joins=["t.id = mi.movie_id", "mi.info_type_id = it.id", "t.kind_id = kt.id"],
+        n_variants=EXT_JOB_FAMILY_SIZES["e5"],
+        make_filters=lambda i: [
+            "it.info = 'genres'",
+            f"mi.info = '{GENRES[i % len(GENRES)]}'",
+            f"kt.kind = '{KIND_TYPES[i % len(KIND_TYPES)]}'",
+        ],
+        select_list="MIN(t.production_year) AS earliest, MAX(t.production_year) AS latest, COUNT(*)",
+        order_by=["t.production_year"],
+    ))
+
+    templates.append(QueryTemplate(
+        family="e6",
+        relations=[("cn", "company_name"), ("ct", "company_type"), ("k", "keyword"),
+                   ("mc", "movie_companies"), ("mk", "movie_keyword"), ("t", "title")],
+        joins=["t.id = mc.movie_id", "mc.company_id = cn.id", "mc.company_type_id = ct.id",
+               "t.id = mk.movie_id", "mk.keyword_id = k.id"],
+        n_variants=EXT_JOB_FAMILY_SIZES["e6"],
+        make_filters=lambda i: [
+            f"ct.kind = '{['distributors', 'production companies'][i % 2]}'",
+            f"k.keyword = '{KEYWORD_POOL[(i + 8) % len(KEYWORD_POOL)]}'",
+        ],
+        select_list="cn.country_code, COUNT(*) AS movies",
+        group_by=["cn.country_code"],
+        order_by=["cn.country_code DESC"],
+    ))
+
+    return templates
+
+
+def build_ext_job_workload(schema: Schema) -> Workload:
+    """Build the Ext-JOB-style workload bound against ``schema``."""
+    return build_workload_from_templates("ext_job", schema, ext_job_templates())

@@ -1,0 +1,197 @@
+"""Tests for the execution engine: correctness, cache behaviour, timing, EXPLAIN."""
+
+import numpy as np
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.executor.explain import explain_analyze, explain_analyze_text, explain_plan
+from repro.executor.operators import OperatorMetrics, join_match_positions
+from repro.executor.timing import TimingModel
+from repro.config import SIMULATION_CONFIG
+from repro.optimizer.enumeration import enumerate_join_trees, left_deep_plan_from_order
+from repro.optimizer.planner import Planner
+from repro.plans.hints import HintSet, OperatorToggles
+from repro.sql.binder import bind_sql
+
+COUNT_QUERY = (
+    "SELECT COUNT(*) FROM title AS t, movie_keyword AS mk, keyword AS k "
+    "WHERE t.id = mk.movie_id AND mk.keyword_id = k.id "
+    "AND k.keyword = 'sequel' AND t.production_year > 2000"
+)
+
+
+@pytest.fixture(scope="module")
+def engine_and_planner(imdb_db):
+    return ExecutionEngine(imdb_db), Planner(imdb_db)
+
+
+def brute_force_count(db, keyword: str, year: int) -> int:
+    """Reference implementation of COUNT_QUERY using raw numpy joins."""
+    title = db.table_data("title")
+    mk = db.table_data("movie_keyword")
+    kw = db.table_data("keyword")
+    kw_code = kw.encode("keyword", keyword)
+    keyword_ids = kw.column("id")[kw.column("keyword") == kw_code]
+    title_ok = set(title.column("id")[title.column("production_year") > year].tolist())
+    count = 0
+    movie_ids = mk.column("movie_id")
+    mk_keyword = mk.column("keyword_id")
+    keyword_set = set(keyword_ids.tolist())
+    for movie, keyword_id in zip(movie_ids.tolist(), mk_keyword.tolist()):
+        if keyword_id in keyword_set and movie in title_ok:
+            count += 1
+    return count
+
+
+class TestJoinMatching:
+    def test_join_match_positions_against_bruteforce(self):
+        rng = np.random.default_rng(5)
+        left = rng.integers(0, 20, 50).astype(np.int64)
+        right = rng.integers(0, 20, 70).astype(np.int64)
+        lp, rp = join_match_positions(left, right)
+        got = sorted(zip(lp.tolist(), rp.tolist()))
+        expected = sorted(
+            (i, j) for i in range(50) for j in range(70) if left[i] == right[j]
+        )
+        assert got == expected
+
+    def test_empty_inputs(self):
+        lp, rp = join_match_positions(np.array([], dtype=np.int64), np.array([1], dtype=np.int64))
+        assert lp.size == 0 and rp.size == 0
+
+
+class TestCorrectness:
+    def test_count_matches_bruteforce(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        plan = planner.plan(query)
+        result = engine.execute(query, plan)
+        expected = brute_force_count(imdb_db, "sequel", 2000)
+        assert result.rows[0][0] == expected
+
+    def test_all_plan_shapes_agree_on_result(self, imdb_db, engine_and_planner):
+        """Every enumerated join tree of the same query must return the same count."""
+        engine, planner = engine_and_planner
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        counts = set()
+        for plan in enumerate_join_trees(query, planner.cost_model):
+            counts.add(engine.execute(query, plan).rows[0][0])
+        assert len(counts) == 1
+
+    def test_forced_orders_agree_on_result(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        results = set()
+        for order in (["t", "mk", "k"], ["k", "mk", "t"], ["mk", "t", "k"]):
+            plan = left_deep_plan_from_order(query, planner.cost_model, order)
+            results.add(engine.execute(query, plan).rows[0][0])
+        assert len(results) == 1
+
+    def test_operator_toggles_do_not_change_results(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        baseline = engine.execute(query, planner.plan(query)).rows
+        for toggles in (
+            OperatorToggles(hashjoin=False),
+            OperatorToggles(nestloop=False),
+            OperatorToggles(indexscan=False, bitmapscan=False),
+        ):
+            plan = planner.plan(query, HintSet(toggles=toggles))
+            assert engine.execute(query, plan).rows == baseline
+
+    def test_min_aggregate_decodes_text(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(
+            "SELECT MIN(k.keyword) FROM keyword AS k, movie_keyword AS mk "
+            "WHERE mk.keyword_id = k.id",
+            imdb_db.schema,
+            name="min",
+        )
+        result = engine.execute(query, planner.plan(query))
+        assert isinstance(result.rows[0][0], str)
+
+    def test_group_by_produces_one_row_per_group(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(
+            "SELECT kt.kind, COUNT(*) FROM kind_type AS kt, title AS t "
+            "WHERE t.kind_id = kt.id GROUP BY kt.kind",
+            imdb_db.schema,
+            name="group",
+        )
+        result = engine.execute(query, planner.plan(query))
+        kinds = [row[0] for row in result.rows]
+        assert len(kinds) == len(set(kinds))
+        assert sum(row[1] for row in result.rows) == imdb_db.table_data("title").row_count
+
+    def test_empty_result_count_is_zero(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(
+            "SELECT COUNT(*) FROM title AS t, kind_type AS kt WHERE t.kind_id = kt.id "
+            "AND kt.kind = 'movie' AND t.production_year > 2100",
+            imdb_db.schema,
+            name="empty",
+        )
+        result = engine.execute(query, planner.plan(query))
+        assert result.rows[0][0] == 0
+
+
+class TestCacheAndTiming:
+    def test_cold_run_slower_than_hot_run(self, imdb_db):
+        engine = ExecutionEngine(imdb_db)
+        planner = Planner(imdb_db)
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        plan = planner.plan(query)
+        imdb_db.drop_caches()
+        first = engine.execute(query, plan).execution_time_ms
+        second = engine.execute(query, plan).execution_time_ms
+        third = engine.execute(query, plan).execution_time_ms
+        assert first > second
+        assert abs(second - third) / second < 0.15
+
+    def test_timeout_flags_result(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        plan = planner.plan(query)
+        result = engine.execute(query, plan, timeout_ms=0.0001)
+        assert result.timed_out
+        assert result.execution_time_ms == pytest.approx(0.0001)
+
+    def test_timing_model_parallelism_speedup(self):
+        metrics = OperatorMetrics(tuples_in=100_000, seq_pages_read=500)
+        serial = TimingModel(SIMULATION_CONFIG.with_overrides(max_parallel_workers_per_gather=0))
+        parallel = TimingModel(SIMULATION_CONFIG)
+        assert parallel.execution_time_ms(metrics, with_noise=False) < serial.execution_time_ms(
+            metrics, with_noise=False
+        )
+
+    def test_timing_model_noise_bounded(self):
+        metrics = OperatorMetrics(tuples_in=10_000)
+        model = TimingModel(SIMULATION_CONFIG, noise_sigma=0.02)
+        times = [model.execution_time_ms(metrics) for _ in range(50)]
+        spread = (max(times) - min(times)) / np.mean(times)
+        assert spread < 0.25
+
+    def test_metrics_merge_accumulates(self):
+        a = OperatorMetrics(pages_hit=1, tuples_in=10)
+        b = OperatorMetrics(pages_hit=2, cpu_ops=5)
+        a.merge(b)
+        assert a.pages_hit == 3 and a.cpu_ops == 5 and a.tuples_in == 10
+
+
+class TestExplain:
+    def test_explain_plan_text(self, imdb_db, engine_and_planner):
+        _, planner = engine_and_planner
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        text = explain_plan(planner.plan(query))
+        assert "Scan" in text and "rows=" in text
+
+    def test_explain_analyze_structure(self, imdb_db, engine_and_planner):
+        engine, planner = engine_and_planner
+        query = bind_sql(COUNT_QUERY, imdb_db.schema, name="count")
+        result = planner.plan_with_info(query)
+        execution = engine.execute(query, result.plan)
+        payload = explain_analyze(result.plan, execution, result.planning_time_ms)
+        assert payload["planning_time_ms"] == result.planning_time_ms
+        assert payload["plan"]["children"]
+        text = explain_analyze_text(result.plan, execution, result.planning_time_ms)
+        assert "Execution Time" in text and "Planning Time" in text

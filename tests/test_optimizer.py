@@ -1,0 +1,297 @@
+"""Tests for cardinality estimation, the cost model, enumeration, GEQO and the planner."""
+
+import numpy as np
+import pytest
+
+from repro.config import SIMULATION_CONFIG
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.enumeration import (
+    DPEnumerator,
+    count_join_tree_shapes,
+    count_left_deep_orders,
+    enumerate_join_trees,
+    greedy_plan,
+    left_deep_plan_from_order,
+)
+from repro.optimizer.geqo import GeqoEnumerator, GeqoParameters
+from repro.optimizer.planner import STRATEGY_DP, STRATEGY_FORCED, STRATEGY_GEQO, Planner
+from repro.plans.hints import HintSet, OperatorToggles
+from repro.plans.physical import JoinType, ScanType, plan_join_nodes, plan_scan_nodes
+from repro.plans.properties import is_left_deep, join_order_of
+from repro.sql.binder import bind_sql
+
+THREE_WAY = (
+    "SELECT COUNT(*) FROM title AS t, movie_keyword AS mk, keyword AS k "
+    "WHERE t.id = mk.movie_id AND mk.keyword_id = k.id "
+    "AND k.keyword = 'sequel' AND t.production_year > 2000"
+)
+
+FIVE_WAY = (
+    "SELECT COUNT(*) FROM title AS t, movie_keyword AS mk, keyword AS k, "
+    "movie_companies AS mc, company_name AS cn "
+    "WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND mc.movie_id = t.id "
+    "AND mc.company_id = cn.id AND cn.country_code = '[us]'"
+)
+
+
+@pytest.fixture(scope="module")
+def queries(imdb_db):
+    return {
+        "three": bind_sql(THREE_WAY, imdb_db.schema, name="three"),
+        "five": bind_sql(FIVE_WAY, imdb_db.schema, name="five"),
+    }
+
+
+class TestCardinality:
+    def test_base_rows_between_one_and_table_rows(self, imdb_db, queries):
+        estimator = CardinalityEstimator(imdb_db)
+        q = queries["three"]
+        rows = estimator.base_rows(q, "t")
+        assert 1.0 <= rows <= estimator.table_rows(q, "t")
+
+    def test_equality_filter_more_selective_than_range(self, imdb_db, queries):
+        estimator = CardinalityEstimator(imdb_db)
+        q = queries["three"]
+        eq_sel = estimator.filter_selectivity(q, q.filters_for("k")[0])
+        range_sel = estimator.filter_selectivity(q, q.filters_for("t")[0])
+        assert 0.0 <= eq_sel <= 1.0 and 0.0 <= range_sel <= 1.0
+        assert eq_sel < range_sel
+
+    def test_range_estimate_close_to_truth(self, imdb_db, queries):
+        estimator = CardinalityEstimator(imdb_db)
+        q = queries["three"]
+        error = estimator.estimation_error(q, "t")
+        assert error < 3.0  # single-column range on histogrammed data is decent
+
+    def test_join_selectivity_in_unit_interval(self, imdb_db, queries):
+        estimator = CardinalityEstimator(imdb_db)
+        q = queries["three"]
+        for predicate in q.joins:
+            assert 0.0 < estimator.join_selectivity(q, predicate) <= 1.0
+
+    def test_rows_for_monotone_in_subset(self, imdb_db, queries):
+        estimator = CardinalityEstimator(imdb_db)
+        q = queries["five"]
+        pair = estimator.rows_for(q, {"t", "mk"})
+        assert pair >= 1.0
+        assert estimator.rows_for(q, {"t"}) == pytest.approx(estimator.base_rows(q, "t"))
+
+    def test_subset_cache_returns_same_value(self, imdb_db, queries):
+        estimator = CardinalityEstimator(imdb_db)
+        q = queries["five"]
+        a = estimator.rows_for(q, {"t", "mk", "k"})
+        b = estimator.rows_for(q, {"k", "mk", "t"})
+        assert a == b
+
+
+class TestCostModel:
+    def test_best_scan_prefers_index_for_selective_filter(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["three"]
+        scan = model.best_scan(q, "t")
+        assert scan.scan_type in (ScanType.INDEX, ScanType.BITMAP, ScanType.SEQ)
+        candidates = model.candidate_scans(q, "t")
+        assert any(c.scan_type is not ScanType.SEQ for c in candidates)
+
+    def test_seqscan_chosen_without_filters(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["five"]
+        scan = model.best_scan(q, "mk")
+        assert scan.scan_type is ScanType.SEQ
+
+    def test_disabling_scan_types_respected(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["three"]
+        hints = HintSet(toggles=OperatorToggles(indexscan=False, bitmapscan=False))
+        candidates = model.candidate_scans(q, "t", hints)
+        assert all(c.scan_type in (ScanType.SEQ, ScanType.TID) for c in candidates)
+
+    def test_forced_scan_method(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["three"]
+        hints = HintSet(scan_methods={"t": ScanType.BITMAP})
+        scan = model.best_scan(q, "t", hints)
+        assert scan.scan_type is ScanType.BITMAP
+
+    def test_join_cost_positive_and_cumulative(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["three"]
+        left = model.best_scan(q, "t")
+        right = model.best_scan(q, "mk")
+        join = model.best_join(q, left, right)
+        assert join.estimated_cost >= max(left.estimated_cost, right.estimated_cost)
+        assert join.estimated_rows >= 1.0
+
+    def test_forced_join_method(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["three"]
+        left = model.best_scan(q, "t")
+        right = model.best_scan(q, "mk")
+        hints = HintSet(join_methods={frozenset({"t", "mk"}): JoinType.MERGE})
+        join = model.best_join(q, left, right, hints)
+        assert join.join_type is JoinType.MERGE
+
+    def test_hash_join_usually_beats_materialized_nestloop(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["five"]
+        left = model.best_scan(q, "mk")
+        right = model.best_scan(q, "mc")
+        hash_cost = model.join_cost(q, JoinType.HASH, left, right, q.joins_between({"mk"}, {"mc"}))
+        nl_cost = model.join_cost(q, JoinType.NESTED_LOOP, left, right, [])
+        assert hash_cost < nl_cost
+
+    def test_recost_plan_preserves_structure(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["three"]
+        plan = left_deep_plan_from_order(q, model, ["k", "mk", "t"])
+        recosted = model.recost_plan(q, plan)
+        assert join_order_of(recosted) == join_order_of(plan)
+        assert recosted.estimated_cost > 0
+
+
+class TestEnumeration:
+    def test_left_deep_plan_covers_all_aliases(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["five"]
+        plan = left_deep_plan_from_order(q, model, list(q.aliases))
+        assert plan.aliases == frozenset(q.aliases)
+        assert is_left_deep(plan)
+
+    def test_left_deep_plan_rejects_unknown_alias(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        with pytest.raises(OptimizerError):
+            left_deep_plan_from_order(queries["three"], model, ["t", "zz"])
+
+    def test_dp_beats_or_matches_worst_order(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["five"]
+        dp_plan = DPEnumerator(model).plan(q)
+        worst = max(
+            left_deep_plan_from_order(q, model, order).estimated_cost
+            for order in (list(q.aliases), list(reversed(q.aliases)))
+        )
+        assert dp_plan.estimated_cost <= worst
+        assert dp_plan.aliases == frozenset(q.aliases)
+
+    def test_dp_left_deep_only_mode(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["five"]
+        plan = DPEnumerator(model, consider_bushy=False).plan(q)
+        assert is_left_deep(plan)
+
+    def test_greedy_plan_covers_all_aliases(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["five"]
+        plan = greedy_plan(q, model)
+        assert plan.aliases == frozenset(q.aliases)
+
+    def test_enumerate_join_trees_shapes_and_coverage(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["three"]
+        plans = list(enumerate_join_trees(q, model))
+        assert len(plans) >= 4
+        assert all(p.aliases == frozenset(q.aliases) for p in plans)
+
+    def test_enumerate_join_trees_refuses_large_queries(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        with pytest.raises(OptimizerError):
+            list(enumerate_join_trees(queries["five"], model, max_relations=3))
+
+    def test_shape_counting_formulas(self):
+        assert count_left_deep_orders(3) == 6
+        assert count_join_tree_shapes(2) == 2
+        assert count_join_tree_shapes(3) == 12
+        assert count_join_tree_shapes(4) > count_left_deep_orders(4)
+
+
+class TestGeqo:
+    def test_geqo_produces_valid_plan(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        geqo = GeqoEnumerator(model, GeqoParameters(population_size=12, generations=5))
+        plan = geqo.plan(queries["five"])
+        assert plan.aliases == frozenset(queries["five"].aliases)
+
+    def test_geqo_deterministic_for_seed(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        params = GeqoParameters(population_size=10, generations=4, seed=3)
+        a = GeqoEnumerator(model, params).plan(queries["five"])
+        b = GeqoEnumerator(model, params).plan(queries["five"])
+        assert join_order_of(a) == join_order_of(b)
+
+    def test_geqo_not_much_worse_than_dp(self, imdb_db, queries):
+        model = CostModel(imdb_db)
+        q = queries["five"]
+        dp_cost = DPEnumerator(model).plan(q).estimated_cost
+        geqo_cost = GeqoEnumerator(model).plan(q).estimated_cost
+        assert geqo_cost <= dp_cost * 5.0
+
+
+class TestPlanner:
+    def test_small_query_uses_dp(self, imdb_db, queries):
+        planner = Planner(imdb_db)
+        result = planner.plan_with_info(queries["three"])
+        assert result.strategy == STRATEGY_DP
+        assert result.planning_time_ms > 0
+
+    def test_geqo_used_beyond_threshold(self, imdb_db, job_workload):
+        config = SIMULATION_CONFIG.with_overrides(geqo_threshold=6)
+        planner = Planner(imdb_db, config)
+        big = next(q for q in job_workload if q.num_relations >= 8)
+        result = planner.plan_with_info(big.bound)
+        assert result.strategy == STRATEGY_GEQO
+
+    def test_forced_join_order_respected(self, imdb_db, queries):
+        planner = Planner(imdb_db)
+        q = queries["three"]
+        hints = HintSet.from_join_order(["k", "mk", "t"])
+        result = planner.plan_with_info(q, hints)
+        assert result.strategy == STRATEGY_FORCED
+        assert join_order_of(result.plan) == ("k", "mk", "t")
+
+    def test_leading_prefix_respected(self, imdb_db, queries):
+        planner = Planner(imdb_db)
+        q = queries["five"]
+        hints = HintSet.from_leading_prefix(["cn", "mc"])
+        plan = planner.plan(q, hints)
+        assert join_order_of(plan)[:2] == ("cn", "mc")
+
+    def test_join_collapse_limit_forces_from_order(self, imdb_db, queries):
+        config = SIMULATION_CONFIG.with_overrides(join_collapse_limit=1)
+        planner = Planner(imdb_db, config)
+        q = queries["three"]
+        plan = planner.plan(q)
+        assert join_order_of(plan) == tuple(q.aliases)
+
+    def test_aggregate_decoration_added(self, imdb_db, queries):
+        planner = Planner(imdb_db)
+        result = planner.plan_with_info(queries["three"])
+        assert result.plan.label().startswith("Aggregate")
+
+    def test_operator_toggle_hint_changes_join_types(self, imdb_db, queries):
+        planner = Planner(imdb_db)
+        q = queries["five"]
+        baseline_types = {j.join_type for j in plan_join_nodes(planner.plan(q))}
+        hints = HintSet(toggles=OperatorToggles(hashjoin=False))
+        without_hash = {j.join_type for j in plan_join_nodes(planner.plan(q, hints))}
+        assert JoinType.HASH not in without_hash or JoinType.HASH not in baseline_types
+
+    def test_scan_nodes_have_estimates(self, imdb_db, queries):
+        planner = Planner(imdb_db)
+        plan = planner.plan(queries["five"])
+        for scan in plan_scan_nodes(plan):
+            assert scan.estimated_rows >= 1.0
+            assert scan.estimated_cost > 0.0
+
+    def test_small_effective_cache_inflates_planning_time_for_big_queries(
+        self, imdb_db, job_workload
+    ):
+        big = next(q for q in job_workload if q.num_relations >= 11)
+        small_cache = Planner(imdb_db, SIMULATION_CONFIG)
+        large_cache = Planner(
+            imdb_db, SIMULATION_CONFIG.with_overrides(effective_cache_size=32 * 1024**3)
+        )
+        slow = small_cache.plan_with_info(big.bound).planning_time_ms
+        fast = large_cache.plan_with_info(big.bound).planning_time_ms
+        assert slow > fast
