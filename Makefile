@@ -1,0 +1,26 @@
+# Developer entry points for the paper reproduction.
+#
+#   make test          - tier-1 test suite (the driver's gate)
+#   make bench-smoke   - one fast benchmark as an end-to-end smoke check
+#   make bench         - every benchmark at reduced scale
+#   make example       - the parallel+resume runtime demo
+#
+# Benchmarks honour REPRO_BENCH_SCALE / REPRO_BENCH_FULL / REPRO_BENCH_WORKERS /
+# REPRO_BENCH_STORE (see benchmarks/conftest.py).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench-smoke bench example
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_figure3_splits.py -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+example:
+	$(PYTHON) examples/parallel_experiments.py

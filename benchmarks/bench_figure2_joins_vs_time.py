@@ -6,13 +6,17 @@ Expected shape: R² of the joins→time regression near or below zero.
 from repro.experiments import figure2
 
 
-def test_figure2_joins_vs_execution_time(benchmark, bench_scale):
+def test_figure2_joins_vs_execution_time(benchmark, bench_scale, result_store):
     result = benchmark.pedantic(
         figure2.run, kwargs={"scale": bench_scale}, iterations=1, rounds=1
     )
     assert result.regression.n == 113
     # Join count must not be a good predictor of execution time.
     assert result.regression.r_squared < 0.5
+    result_store.save_artifact(
+        "figure2_regression",
+        {"r_squared": result.regression.r_squared, "n": result.regression.n},
+    )
     print()
     print(
         f"Figure 2: R^2={result.regression.r_squared:.3f} over {result.regression.n} queries "

@@ -4,12 +4,13 @@ from repro.core.splits import SplitSampling
 from repro.experiments import figure3
 
 
-def test_figure3_split_sampling(benchmark, bench_scale):
+def test_figure3_split_sampling(benchmark, bench_scale, result_store):
     splits = benchmark.pedantic(
         figure3.run, kwargs={"scale": bench_scale}, iterations=1, rounds=1
     )
     assert set(splits) == {s.value for s in SplitSampling}
     rows = figure3.assignment_rows(splits)
+    result_store.save_artifact("figure3_assignments", rows)
     loo = next(r for r in rows if r["sampling"] == "leave_one_out")
     base = next(r for r in rows if r["sampling"] == "base_query")
     assert loo["test_queries"] == 33          # one variant per family

@@ -14,7 +14,7 @@ from repro.lqo.registry import MAIN_EVALUATION_METHODS
 REDUCED_METHODS = ("postgres", "bao", "hybridqo", "neo")
 
 
-def test_figure4_job_end_to_end(benchmark, bench_scale, bench_full):
+def test_figure4_job_end_to_end(benchmark, bench_scale, bench_full, bench_runtime, result_store):
     methods = MAIN_EVALUATION_METHODS if bench_full else REDUCED_METHODS
     splits_per_sampling = 3 if bench_full else 1
     config = ExperimentConfig(
@@ -32,6 +32,8 @@ def test_figure4_job_end_to_end(benchmark, bench_scale, bench_full):
             "methods": methods,
             "splits_per_sampling": splits_per_sampling,
             "experiment_config": config,
+            "runtime_config": bench_runtime,
+            "result_store": result_store,
         },
         iterations=1,
         rounds=1,
@@ -40,6 +42,7 @@ def test_figure4_job_end_to_end(benchmark, bench_scale, bench_full):
     best = result.best_method_per_split()
     # The classical baseline must win or tie on at least one split (paper: most splits).
     assert len(best) == 3 * splits_per_sampling
+    result_store.save_artifact("figure4_rows", result.rows())
     print()
     print(format_table(result.rows(), title="Figure 4 (JOB, reduced grid)"))
     print("best method per split:", best)

@@ -8,7 +8,7 @@ from repro.lqo.registry import MAIN_EVALUATION_METHODS
 REDUCED_METHODS = ("postgres", "bao", "hybridqo")
 
 
-def test_figure5_stack_end_to_end(benchmark, bench_scale, bench_full):
+def test_figure5_stack_end_to_end(benchmark, bench_scale, bench_full, bench_runtime, result_store):
     methods = MAIN_EVALUATION_METHODS if bench_full else REDUCED_METHODS
     splits_per_sampling = 3 if bench_full else 1
     config = ExperimentConfig(
@@ -26,12 +26,15 @@ def test_figure5_stack_end_to_end(benchmark, bench_scale, bench_full):
             "methods": methods,
             "splits_per_sampling": splits_per_sampling,
             "experiment_config": config,
+            "runtime_config": bench_runtime,
+            "result_store": result_store,
         },
         iterations=1,
         rounds=1,
     )
     assert len(result.runs) == len(methods) * 3 * splits_per_sampling
     assert all(run.timings for run in result.runs)
+    result_store.save_artifact("figure5_rows", result.rows())
     print()
     print(format_table(result.rows(), title="Figure 5 (STACK, reduced grid)"))
     print("best method per split:", result.best_method_per_split())

@@ -9,7 +9,7 @@ from repro.core.report import format_table
 from repro.experiments import figure4, figure6
 
 
-def test_figure6_training_time_vs_runtime(benchmark, bench_scale):
+def test_figure6_training_time_vs_runtime(benchmark, bench_scale, result_store):
     config = ExperimentConfig(
         optimizer_kwargs={
             "bao": {"training_passes": 1},
@@ -24,6 +24,7 @@ def test_figure6_training_time_vs_runtime(benchmark, bench_scale):
             methods=("postgres", "bao", "neo", "hybridqo"),
             splits_per_sampling=1,
             experiment_config=config,
+            result_store=result_store,
         )
         return figure6.run(precomputed=[job])
 
@@ -33,6 +34,18 @@ def test_figure6_training_time_vs_runtime(benchmark, bench_scale):
     postgres_points = [p for p in points if p.method == "postgres"]
     assert all(p.training_time_s == 0.0 for p in postgres_points)
     summary = figure6.correlation_summary(points)
+    result_store.save_artifact(
+        "figure6_points",
+        [
+            {
+                "method": p.method,
+                "split": p.split,
+                "training_time_s": p.training_time_s,
+                "workload_runtime_ms": p.workload_runtime_ms,
+            }
+            for p in points
+        ],
+    )
     print()
     print(format_table([{
         "method": p.method, "split": p.split,

@@ -9,7 +9,7 @@ from repro.experiments import figure7
 SAMPLE_QUERIES = ["1a", "2a", "3a", "4a", "6a", "8a", "10a", "17a", "20a", "32a"]
 
 
-def test_figure7_execution_robustness(benchmark, bench_scale, bench_full):
+def test_figure7_execution_robustness(benchmark, bench_scale, bench_full, result_store):
     executions = 50 if bench_full else 12
     query_ids = None if bench_full else SAMPLE_QUERIES
     result = benchmark.pedantic(
@@ -22,6 +22,9 @@ def test_figure7_execution_robustness(benchmark, bench_scale, bench_full):
     drop_2 = result.mean_drop(2)
     assert drop_1 > 0.03            # the cache warm-up is clearly visible
     assert abs(drop_2) < drop_1     # and mostly done after the second run
+    result_store.save_artifact(
+        "figure7_aggregated", {str(k): v for k, v in result.aggregated.items()}
+    )
     print()
     print(f"Figure 7: mean drop 1->2 = {drop_1 * 100:.1f}% (paper: 14.6%), "
           f"2->3 = {drop_2 * 100:.1f}% (paper: 1.03%)")

@@ -1,0 +1,86 @@
+"""Benchmark RT: the experiment runtime — plan caching, fan-out, resume.
+
+Expected shape: a warm :class:`PlanCache` serves repeated planning requests at
+least 2x faster than planning from scratch (in practice orders of magnitude),
+the parallel grid produces results identical to serial execution, and a
+resumed sweep recomputes nothing.
+"""
+
+import time
+
+from repro.config import RuntimeConfig
+from repro.core.experiment import ExperimentConfig
+from repro.core.splits import SplitSampling, generate_split
+from repro.experiments.common import job_context
+from repro.optimizer.planner import Planner
+from repro.runtime.parallel import ParallelExperimentRunner
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.result_store import ResultStore
+
+#: Number of repeated planning passes over the workload (ablation-style reuse).
+PLANNING_PASSES = 5
+
+
+def test_plan_cache_speedup_on_repeated_planning(benchmark, bench_scale):
+    """A warm plan cache must make repeated planning >= 2x faster."""
+    context = job_context(bench_scale)
+    queries = [q.bound for q in context.workload.queries]
+
+    def plan_all(planner: Planner) -> float:
+        start = time.perf_counter()
+        for bound in queries:
+            planner.plan_with_info(bound)
+        return time.perf_counter() - start
+
+    # Cold baseline: every pass pays full planning (cache disabled).
+    uncached_planner = Planner(context.database, plan_cache=PlanCache(max_entries=0))
+    cold_total = sum(plan_all(uncached_planner) for _ in range(PLANNING_PASSES))
+
+    # Cached: the first pass fills the cache, later passes are near-free.
+    cached_planner = Planner(context.database, plan_cache=PlanCache(max_entries=4096))
+    warm_total = benchmark.pedantic(
+        lambda: sum(plan_all(cached_planner) for _ in range(PLANNING_PASSES)),
+        iterations=1,
+        rounds=1,
+    )
+
+    stats = cached_planner.plan_cache.stats
+    assert stats.hits >= len(queries) * (PLANNING_PASSES - 1)
+    speedup = cold_total / max(warm_total, 1e-9)
+    print()
+    print(
+        f"plan cache: cold {cold_total * 1000:.1f} ms vs warm {warm_total * 1000:.1f} ms "
+        f"-> {speedup:.1f}x speedup, {cached_planner.plan_cache.describe()}"
+    )
+    assert speedup >= 2.0
+
+
+def test_parallel_grid_smoke_and_resume(benchmark, bench_scale, bench_runtime, tmp_path):
+    """Fan the reduced grid out over workers, then resume it from the store."""
+    context = job_context(bench_scale)
+    split = generate_split(context.workload, SplitSampling.RANDOM, seed=0)
+    store = ResultStore(tmp_path / "rt-store")
+    config = ExperimentConfig(optimizer_kwargs={"bao": {"training_passes": 1}})
+    methods = ("postgres", "bao", "hybridqo")
+
+    def sweep() -> list:
+        runner = ParallelExperimentRunner(
+            context.database,
+            context.workload,
+            experiment_config=config,
+            runtime_config=RuntimeConfig(workers=max(bench_runtime.workers, 2)),
+            result_store=store,
+        )
+        return runner.run_grid(methods, [split])
+
+    first = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    assert [r.method for r in first] == list(methods)
+    assert store.stored_count == len(methods)
+
+    resume_start = time.perf_counter()
+    second = sweep()
+    resume_elapsed = time.perf_counter() - resume_start
+    assert [r.to_dict() for r in second] == [r.to_dict() for r in first]
+    assert store.loaded_count == len(methods)  # nothing was recomputed
+    print()
+    print(f"resume of {len(methods)}-task grid took {resume_elapsed * 1000:.1f} ms; {store.describe()}")

@@ -4,6 +4,12 @@ Every benchmark regenerates one table or figure of the paper at a reduced,
 laptop-friendly scale (see DESIGN.md §4 for the experiment index).  Set the
 environment variables ``REPRO_BENCH_SCALE`` (database scale factor) and
 ``REPRO_BENCH_FULL=1`` (full experiment grids) for larger runs.
+
+The end-to-end benchmarks run through the experiment runtime: tasks fan out
+over ``REPRO_BENCH_WORKERS`` workers (default 2) and results/artefacts are
+persisted into a result store.  Point ``REPRO_BENCH_STORE`` at a directory to
+make sweeps resumable across invocations — completed (method, split, seed)
+tasks are then skipped on re-run.
 """
 
 from __future__ import annotations
@@ -12,11 +18,17 @@ import os
 
 import pytest
 
+from repro.config import RuntimeConfig
+from repro.runtime.result_store import ResultStore
+
 #: Reduced database scale used by default so the whole suite finishes quickly.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 
 #: Whether to run the full experiment grids (all methods, 3 splits/sampling).
 BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Parallel workers used by the end-to-end experiment grids.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
 
 
 @pytest.fixture(scope="session")
@@ -27,3 +39,20 @@ def bench_scale() -> float:
 @pytest.fixture(scope="session")
 def bench_full() -> bool:
     return BENCH_FULL
+
+
+@pytest.fixture(scope="session")
+def bench_runtime() -> RuntimeConfig:
+    """Runtime configuration of the benchmark grids (parallel fan-out)."""
+    return RuntimeConfig(workers=max(BENCH_WORKERS, 1))
+
+
+@pytest.fixture(scope="session")
+def result_store(tmp_path_factory) -> ResultStore:
+    """Resumable result store shared by the benchmark session.
+
+    Ephemeral by default; set ``REPRO_BENCH_STORE=/some/dir`` to persist
+    results (and skip completed tasks) across benchmark invocations.
+    """
+    root = os.environ.get("REPRO_BENCH_STORE") or tmp_path_factory.mktemp("result-store")
+    return ResultStore(root)

@@ -14,6 +14,7 @@ the table can be regenerated programmatically (see
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterator, Mapping
 
@@ -108,6 +109,18 @@ class PostgresConfig:
     def to_dict(self) -> dict[str, Any]:
         """Flat dictionary of every knob, suitable for reports and tests."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def fingerprint(self) -> str:
+        """Stable, content-based fingerprint over every knob.
+
+        Two equal configurations always produce the same fingerprint (across
+        processes and interpreter restarts — no reliance on ``hash()``), and
+        changing any knob changes it.  The plan cache and the result store use
+        this to key cached artefacts to the exact configuration that produced
+        them.
+        """
+        payload = ";".join(f"{f.name}={getattr(self, f.name)!r}" for f in fields(self))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def diff_from_default(self) -> dict[str, tuple[Any, Any]]:
         """Knobs that deviate from PostgreSQL defaults as ``{name: (default, value)}``."""
@@ -246,3 +259,53 @@ def get_preset(name: str) -> PostgresConfig:
 def iter_presets() -> Iterator[tuple[str, PostgresConfig]]:
     """Iterate over ``(name, config)`` pairs in Table 2 column order."""
     return iter(CONFIG_PRESETS.items())
+
+
+# ---------------------------------------------------------------------------
+# Experiment runtime configuration (parallel fan-out, caching, result store).
+# ---------------------------------------------------------------------------
+
+#: Executor kinds accepted by :class:`RuntimeConfig`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the parallel experiment runtime (``repro.runtime``).
+
+    Attributes:
+        workers: number of concurrent experiment tasks; ``1`` runs serially.
+        executor_kind: ``"thread"`` (default), ``"process"`` or ``"serial"``.
+            Thread workers share the read-only table data; process workers
+            pay a pickling cost per task but sidestep the GIL.
+        plan_cache_entries: capacity of the shared :class:`~repro.runtime.plan_cache.PlanCache`
+            (``0`` disables plan caching).
+        store_dir: directory of the resumable JSON result store; ``None``
+            disables persistence.
+        skip_existing: when a result store is configured, completed (method,
+            split, seed) tasks found in the store are loaded instead of re-run
+            (PostBOUND-style resume semantics).
+    """
+
+    workers: int = 1
+    executor_kind: str = "thread"
+    plan_cache_entries: int = 1024
+    store_dir: str | None = None
+    skip_existing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("RuntimeConfig.workers must be >= 1")
+        if self.executor_kind not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor kind {self.executor_kind!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if self.plan_cache_entries < 0:
+            raise ValueError("RuntimeConfig.plan_cache_entries must be >= 0")
+
+    def with_overrides(self, **overrides: Any) -> "RuntimeConfig":
+        return replace(self, **overrides)
+
+
+#: Default runtime: serial-equivalent execution with plan caching enabled.
+DEFAULT_RUNTIME_CONFIG = RuntimeConfig()

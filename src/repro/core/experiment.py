@@ -14,7 +14,7 @@ every (method, split) combination it
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Iterable, Sequence
 
 from repro.config import PostgresConfig
@@ -23,6 +23,9 @@ from repro.core.splits import DatasetSplit
 from repro.errors import ExperimentError
 from repro.lqo.base import LQOEnvironment
 from repro.lqo.registry import create_optimizer, method_info
+from repro.runtime.fingerprint import stable_hash
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.result_store import ResultStore, TaskKey
 from repro.storage.database import Database
 from repro.workloads.workload import BenchmarkQuery, Workload
 
@@ -42,6 +45,31 @@ class ExperimentConfig:
     training_runs_per_plan: int = 1
     optimizer_kwargs: dict[str, dict] = field(default_factory=dict)
     seed: int = 0
+    #: Replace wall-clock inference/training measurements with deterministic
+    #: simulated times.  Required by the parallel runtime: wall clocks depend
+    #: on scheduling and GIL contention, simulated times do not, so results
+    #: stay byte-identical between serial and parallel execution.
+    deterministic_timing: bool = False
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        return replace(self, seed=seed)
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint over every experiment knob.
+
+        The ``seed`` is excluded: it identifies the run (and is part of every
+        result-store :class:`~repro.runtime.result_store.TaskKey`), not the
+        experimental conditions.
+        """
+        parts = []
+        for f in fields(self):
+            if f.name == "seed":
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value = sorted((k, sorted(v.items())) for k, v in value.items())
+            parts.append(f"{f.name}={value!r}")
+        return stable_hash(";".join(parts))
 
 
 class ExperimentRunner:
@@ -53,6 +81,8 @@ class ExperimentRunner:
         workload: Workload,
         config: PostgresConfig | None = None,
         experiment_config: ExperimentConfig | None = None,
+        result_store: ResultStore | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         if workload.schema.name != database.schema.name:
             raise ExperimentError(
@@ -63,6 +93,13 @@ class ExperimentRunner:
         self.workload = workload
         self.db_config = config or database.config
         self.config = experiment_config or ExperimentConfig()
+        #: Optional resumable store: completed (method, split) runs are loaded
+        #: instead of re-executed, and fresh runs are persisted on completion.
+        self.result_store = result_store
+        #: Optional shared plan cache handed to every environment this runner
+        #: builds (hot-cache repetitions and ablations re-plan identical
+        #: queries; sharing makes those plans near-free).
+        self.plan_cache = plan_cache
 
     # ------------------------------------------------------------------ plumbing
     def build_environment(self) -> LQOEnvironment:
@@ -73,6 +110,40 @@ class ExperimentRunner:
             training_runs_per_plan=self.config.training_runs_per_plan,
             evaluation_runs_per_plan=self.config.executions_per_query,
             seed=self.config.seed,
+            deterministic_timing=self.config.deterministic_timing,
+            plan_cache=self.plan_cache,
+        )
+
+    def context_fingerprint(self) -> str:
+        """Fingerprint binding stored results to this exact setup."""
+        return stable_hash(
+            "|".join(
+                (
+                    self.workload.name,
+                    self.database.name,
+                    self.db_config.fingerprint(),
+                    self.config.fingerprint(),
+                )
+            )
+        )
+
+    def task_fingerprint(self, split: DatasetSplit) -> str:
+        """Context fingerprint extended with the split's *membership*.
+
+        Two splits may share a name while holding different query sets (e.g.
+        ``random-0`` generated under different seeds); folding the membership
+        digest in keeps stored results from leaking across them.
+        """
+        return stable_hash(self.context_fingerprint() + "|" + split.fingerprint())
+
+    def task_key(self, method: str, split: DatasetSplit | str) -> TaskKey:
+        """The result-store key of one (method, split) run under this runner."""
+        split_name = split if isinstance(split, str) else split.name
+        return TaskKey(
+            workload=self.workload.name,
+            split_name=split_name,
+            method=method,
+            seed=self.config.seed,
         )
 
     # ------------------------------------------------------------------ execution
@@ -82,7 +153,27 @@ class ExperimentRunner:
         split: DatasetSplit,
         train: bool = True,
     ) -> MethodRunResult:
-        """Train (optionally) and evaluate one method on one split."""
+        """Train (optionally) and evaluate one method on one split.
+
+        With a result store attached, a previously completed run of the same
+        (method, split, seed) under the same configuration is loaded from disk
+        instead of re-executed, and fresh runs are persisted on completion.
+        """
+        if self.result_store is None:
+            return self._run_method_uncached(method, split, train)
+        key = self.task_key(method, split)
+        fingerprint = self.task_fingerprint(split)
+        result, _ = self.result_store.load_or_run(
+            key, lambda: self._run_method_uncached(method, split, train), fingerprint
+        )
+        return result
+
+    def _run_method_uncached(
+        self,
+        method: str,
+        split: DatasetSplit,
+        train: bool = True,
+    ) -> MethodRunResult:
         info = method_info(method)
         env = self.build_environment()
         kwargs = self.config.optimizer_kwargs.get(method, {})

@@ -36,6 +36,47 @@ class QueryTiming:
         """Inference + planning — what Figure 4's left panel shows."""
         return self.inference_time_ms + self.planning_time_ms
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "query_id": self.query_id,
+            "method": self.method,
+            "inference_time_ms": self.inference_time_ms,
+            "planning_time_ms": self.planning_time_ms,
+            "execution_time_ms": self.execution_time_ms,
+            "timed_out": self.timed_out,
+            "num_joins": self.num_joins,
+            "metadata": _jsonable(self.metadata),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "QueryTiming":
+        return QueryTiming(
+            query_id=payload["query_id"],
+            method=payload["method"],
+            inference_time_ms=float(payload["inference_time_ms"]),
+            planning_time_ms=float(payload["planning_time_ms"]),
+            execution_time_ms=float(payload["execution_time_ms"]),
+            timed_out=bool(payload.get("timed_out", False)),
+            num_joins=int(payload.get("num_joins", 0)),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata values into JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
 
 @dataclass
 class MethodRunResult:
@@ -80,6 +121,28 @@ class MethodRunResult:
 
     def end_to_end_times(self) -> np.ndarray:
         return np.asarray([t.end_to_end_ms for t in self.timings], dtype=float)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, including every per-query timing."""
+        return {
+            "method": self.method,
+            "split_name": self.split_name,
+            "workload_name": self.workload_name,
+            "training_time_s": self.training_time_s,
+            "executed_training_plans": self.executed_training_plans,
+            "timings": [t.to_dict() for t in self.timings],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "MethodRunResult":
+        return MethodRunResult(
+            method=payload["method"],
+            split_name=payload["split_name"],
+            workload_name=payload["workload_name"],
+            training_time_s=float(payload.get("training_time_s", 0.0)),
+            executed_training_plans=int(payload.get("executed_training_plans", 0)),
+            timings=[QueryTiming.from_dict(t) for t in payload.get("timings", [])],
+        )
 
     def summary_row(self) -> dict[str, object]:
         """One row of the Figure 4/5 style summary table."""

@@ -7,7 +7,11 @@ helpers render them in aligned plain text (for terminals and the
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+import json
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.result_store import ResultStore
 
 
 def _stringify(value: object) -> str:
@@ -85,6 +89,31 @@ def format_key_values(values: Mapping[str, object], title: str | None = None) ->
     for key, value in values.items():
         lines.append(f"{str(key).ljust(width)} : {_stringify(value)}")
     return "\n".join(lines)
+
+
+def summary_rows_from_store(store: "ResultStore") -> list[dict[str, object]]:
+    """Summary rows (Figure 4/5 table form) of every run persisted in a store.
+
+    Lets a report be regenerated from a (possibly partially) completed sweep
+    without re-running anything — the reporting half of the resume story.
+    """
+    from repro.core.metrics import MethodRunResult
+
+    rows: list[dict[str, object]] = []
+    for path in store.completed_files():
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict) or "result" not in payload:
+            continue  # artifacts and foreign JSON files are not method runs
+        rows.append(MethodRunResult.from_dict(payload["result"]).summary_row())
+    return rows
+
+
+def store_report(store: "ResultStore", title: str | None = None) -> str:
+    """Plain-text table over every method run persisted in ``store``."""
+    return format_table(summary_rows_from_store(store), title=title)
 
 
 def bullet_list(items: Iterable[object], title: str | None = None) -> str:

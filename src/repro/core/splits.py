@@ -13,6 +13,7 @@ The three strategies probe different levels of generalization:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +56,24 @@ class DatasetSplit:
 
     def test_queries(self, workload: Workload) -> list[BenchmarkQuery]:
         return [workload.by_id(qid) for qid in self.test_ids]
+
+    def fingerprint(self) -> str:
+        """Stable digest of the split's *membership*, not just its name.
+
+        Two splits can share a name (``random-0``) while holding different
+        query sets (different generation seeds); anything cached per split —
+        notably the result store — must key on this, not on :attr:`name`.
+        """
+        payload = "|".join(
+            (
+                self.workload_name,
+                self.sampling.value,
+                str(self.split_index),
+                ",".join(self.train_ids),
+                ",".join(self.test_ids),
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
         return (

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.catalog.statistics import NULL_SENTINEL
 from repro.errors import ExecutionError
 from repro.optimizer.cardinality import _evaluate_filter_mask as evaluate_filter_mask
 from repro.plans.physical import JoinNode, JoinType, ScanNode, ScanType
@@ -215,7 +216,12 @@ def _index_lookup(index, data, predicate):
         return index.lookup_range(low=low, high=high)
     if predicate.op in ("<", "<="):
         high = data.encode(predicate.column, predicate.value)
-        return index.lookup_range(low=None, high=high, include_high=predicate.op == "<=")
+        # Open lower bounds must still exclude NULLs: the sentinel sorts below
+        # every real value, so an unbounded range scan would sweep them in
+        # (and disagree with the equivalent sequential scan).
+        return index.lookup_range(
+            low=NULL_SENTINEL + 1, high=high, include_high=predicate.op == "<="
+        )
     if predicate.op in (">", ">="):
         low = data.encode(predicate.column, predicate.value)
         return index.lookup_range(low=low, high=None, include_low=predicate.op == ">=")
@@ -276,6 +282,11 @@ def execute_index_nestloop(
     probe_positions, matched_rows, index_pages = index.probe_many(outer_keys)
     metrics.index_pages += index_pages
     metrics.cpu_ops += left.size
+    # NULL outer keys must not match NULL entries in the inner index.
+    if probe_positions.size:
+        not_null = outer_keys[probe_positions] != NULL_SENTINEL
+        probe_positions = probe_positions[not_null]
+        matched_rows = matched_rows[not_null]
 
     data = database.table_data(inner_scan.table)
     # Heap accesses for the matched inner tuples (random page reads).
@@ -308,7 +319,7 @@ def execute_index_nestloop(
         lvals = fetch_column(database, query, result, other_alias, other_column)
         rvals = fetch_column(database, query, result, inner_scan.alias,
                              predicate.column_for(inner_scan.alias))
-        keep_mask = lvals == rvals
+        keep_mask = (lvals == rvals) & (lvals != NULL_SENTINEL)
         metrics.cpu_ops += result.size
         result = result.select(np.nonzero(keep_mask)[0])
 
@@ -343,6 +354,13 @@ def execute_join(
     right_values = fetch_column(database, query, right, right_alias, right_column)
 
     left_pos, right_pos = join_match_positions(left_values, right_values)
+    # SQL semantics: NULL never equals NULL.  Both sides of a join can carry
+    # NULLs (nullable foreign keys), and the sentinel encoding would otherwise
+    # happily match them against each other.
+    if left_pos.size:
+        not_null = left_values[left_pos] != NULL_SENTINEL
+        left_pos = left_pos[not_null]
+        right_pos = right_pos[not_null]
 
     if node.join_type is JoinType.HASH:
         metrics.cpu_ops += int(1.5 * right.size) + left.size
@@ -379,7 +397,7 @@ def execute_join(
         la, lc, ra, rc = _orient_predicate(predicate, left, right)
         lvals = fetch_column(database, query, result, la, lc)
         rvals = fetch_column(database, query, result, ra, rc)
-        keep = lvals == rvals
+        keep = (lvals == rvals) & (lvals != NULL_SENTINEL)
         metrics.cpu_ops += result.size
         result = result.select(np.nonzero(keep)[0])
 

@@ -15,12 +15,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config import RuntimeConfig
 from repro.core.experiment import ExperimentConfig, ExperimentRunner
 from repro.core.metrics import MethodRunResult, workload_summary
 from repro.core.report import format_table
 from repro.core.splits import DatasetSplit, SplitSampling, generate_splits
 from repro.experiments.common import BenchmarkContext, job_context
 from repro.lqo.registry import MAIN_EVALUATION_METHODS
+from repro.runtime.parallel import ParallelExperimentRunner
+from repro.runtime.result_store import ResultStore
 
 #: Default (reduced) experiment grid: one split per sampling strategy.  The
 #: paper uses three splits per sampling; pass ``splits_per_sampling=3`` to
@@ -64,13 +67,34 @@ def run_for_context(
     ),
     experiment_config: ExperimentConfig | None = None,
     seed: int = 0,
+    runtime_config: RuntimeConfig | None = None,
+    result_store: ResultStore | None = None,
 ) -> EndToEndResult:
-    """Run the end-to-end comparison over an arbitrary benchmark context."""
-    runner = ExperimentRunner(
-        context.database,
-        context.workload,
-        experiment_config=experiment_config or ExperimentConfig(),
-    )
+    """Run the end-to-end comparison over an arbitrary benchmark context.
+
+    Passing a ``runtime_config`` — at *any* worker count — opts into the
+    experiment runtime: deterministic per-task seeding and simulated
+    inference/training timing, so results are identical whether the grid runs
+    on 1 or N workers.  Without it the legacy serial runner (wall-clock
+    timing, shared environment seed) is used.  With a ``result_store``,
+    completed runs are resumed from disk instead of recomputed.
+    """
+    runner: ExperimentRunner | ParallelExperimentRunner
+    if runtime_config is not None:
+        runner = ParallelExperimentRunner(
+            context.database,
+            context.workload,
+            experiment_config=experiment_config or ExperimentConfig(),
+            runtime_config=runtime_config,
+            result_store=result_store,
+        )
+    else:
+        runner = ExperimentRunner(
+            context.database,
+            context.workload,
+            experiment_config=experiment_config or ExperimentConfig(),
+            result_store=result_store,
+        )
     result = EndToEndResult(workload_name=context.workload.name)
     for sampling in samplings:
         splits = generate_splits(
@@ -86,6 +110,8 @@ def run(
     methods: tuple[str, ...] = MAIN_EVALUATION_METHODS,
     splits_per_sampling: int = DEFAULT_SPLITS_PER_SAMPLING,
     experiment_config: ExperimentConfig | None = None,
+    runtime_config: RuntimeConfig | None = None,
+    result_store: ResultStore | None = None,
 ) -> EndToEndResult:
     """Figure 4: the end-to-end comparison on the JOB workload."""
     return run_for_context(
@@ -93,6 +119,8 @@ def run(
         methods=methods,
         splits_per_sampling=splits_per_sampling,
         experiment_config=experiment_config,
+        runtime_config=runtime_config,
+        result_store=result_store,
     )
 
 

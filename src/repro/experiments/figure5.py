@@ -7,12 +7,14 @@ JOB because STACK queries join fewer tables.
 
 from __future__ import annotations
 
+from repro.config import RuntimeConfig
 from repro.core.experiment import ExperimentConfig
 from repro.core.report import format_table
 from repro.core.splits import SplitSampling
 from repro.experiments.common import stack_context
 from repro.experiments.figure4 import DEFAULT_SPLITS_PER_SAMPLING, EndToEndResult, run_for_context
 from repro.lqo.registry import MAIN_EVALUATION_METHODS
+from repro.runtime.result_store import ResultStore
 
 
 def run(
@@ -20,6 +22,8 @@ def run(
     methods: tuple[str, ...] = MAIN_EVALUATION_METHODS,
     splits_per_sampling: int = DEFAULT_SPLITS_PER_SAMPLING,
     experiment_config: ExperimentConfig | None = None,
+    runtime_config: RuntimeConfig | None = None,
+    result_store: ResultStore | None = None,
 ) -> EndToEndResult:
     """Figure 5: the end-to-end comparison on the STACK workload."""
     return run_for_context(
@@ -32,6 +36,8 @@ def run(
             SplitSampling.BASE_QUERY,
         ),
         experiment_config=experiment_config,
+        runtime_config=runtime_config,
+        result_store=result_store,
     )
 
 

@@ -21,6 +21,7 @@ from repro.optimizer.cost_model import CostModel
 from repro.optimizer.enumeration import left_deep_plan_from_order
 from repro.plans.hints import HintSet, NO_HINTS
 from repro.plans.physical import PlanNode
+from repro.runtime.fingerprint import stable_seed
 from repro.sql.binder import BoundQuery
 
 
@@ -114,7 +115,9 @@ class GeqoEnumerator:
             return self.cost_model.best_scan(query, aliases[0], hints)
 
         params = self.parameters
-        rng = random.Random(params.seed ^ hash(tuple(sorted(aliases))) & 0xFFFFFFFF)
+        # Seed from a stable digest of the alias set: builtin hash() is salted
+        # per process and would make plans differ across processes/runs.
+        rng = random.Random(params.seed ^ stable_seed(*sorted(aliases), bits=32))
         population = self._seeded_orders(query, rng, params.population_size)
         scored: list[tuple[float, list[str], PlanNode]] = []
         for order in population:

@@ -17,6 +17,7 @@ framework can decompose end-to-end latency exactly like the paper does
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.config import GB, PostgresConfig
@@ -31,6 +32,7 @@ from repro.optimizer.enumeration import (
 from repro.optimizer.geqo import GeqoEnumerator, GeqoParameters
 from repro.plans.hints import HintSet, NO_HINTS
 from repro.plans.physical import AggregateNode, PlanNode, SortNode
+from repro.runtime.plan_cache import PlanCache
 from repro.sql.binder import BoundQuery
 from repro.storage.database import Database
 
@@ -65,6 +67,7 @@ class Planner:
         database: Database,
         config: PostgresConfig | None = None,
         geqo_parameters: GeqoParameters | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.database = database
         self.config = config or database.config
@@ -72,10 +75,15 @@ class Planner:
         self.cost_model = CostModel(database, self.config, self.estimator)
         self._dp = DPEnumerator(self.cost_model)
         self._geqo = GeqoEnumerator(self.cost_model, geqo_parameters)
-        # Plans are deterministic for a given (query, hints, config); caching
-        # them mirrors PostgreSQL's prepared-statement behaviour and keeps the
-        # repeated plan requests of the LQO training loops cheap.
-        self._plan_cache: dict[tuple[int, str, str], PlannerResult] = {}
+        # Plans are deterministic for a given (query, hints, config, database,
+        # GEQO parameters), so planner results are cached — keyed by content
+        # fingerprint plus this planner's scope digest, which makes the cache
+        # safely shareable across planners, repetitions and ablations (any
+        # knob, hint or database change maps to a different key).
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._cache_scope = hashlib.sha256(
+            f"{database.name}:{database.total_rows()}|{self._geqo.parameters!r}".encode("utf-8")
+        ).hexdigest()[:16]
 
     # ------------------------------------------------------------------ planning
     def plan(self, query: BoundQuery, hints: HintSet = NO_HINTS) -> PlanNode:
@@ -89,8 +97,8 @@ class Planner:
         if n == 0:
             raise OptimizerError("cannot plan a query without relations")
 
-        cache_key = (id(query), hints.name, hints.describe())
-        cached = self._plan_cache.get(cache_key)
+        cache_key = self.plan_cache.key_for(query, self.config, hints, self._cache_scope)
+        cached = self.plan_cache.get(cache_key)
         if cached is not None:
             return cached
 
@@ -104,7 +112,7 @@ class Planner:
             estimated_cost=core.estimated_cost,
             estimated_rows=core.estimated_rows,
         )
-        self._plan_cache[cache_key] = result
+        self.plan_cache.put(cache_key, result)
         return result
 
     def _plan_core(self, query: BoundQuery, hints: HintSet) -> tuple[str, PlanNode]:

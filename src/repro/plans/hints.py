@@ -9,6 +9,7 @@ planner (:mod:`repro.optimizer.planner`) honours whatever subset is present.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
@@ -136,6 +137,31 @@ class HintSet:
 
     def with_name(self, name: str) -> "HintSet":
         return replace(self, name=name)
+
+    def canonical_key(self) -> tuple:
+        """Hashable, order-independent key over the planning-relevant content.
+
+        The display ``name`` is deliberately excluded: two hint sets that
+        constrain the planner identically must produce identical plans, so
+        they must share one cache entry.
+        """
+        return (
+            self.leading,
+            self.join_order_exact,
+            tuple(
+                (tuple(sorted(aliases)), join_type.value)
+                for aliases, join_type in sorted(
+                    self.join_methods.items(), key=lambda kv: tuple(sorted(kv[0]))
+                )
+            ),
+            tuple((alias, scan.value) for alias, scan in sorted(self.scan_methods.items())),
+            tuple(sorted(self.toggles.active_overrides().items())),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (see :meth:`canonical_key`)."""
+        payload = repr(self.canonical_key())
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
         parts = []

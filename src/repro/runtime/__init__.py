@@ -1,0 +1,54 @@
+"""The experiment runtime: parallel fan-out, plan caching, resumable results.
+
+This package turns the strictly serial experiment harness into a runtime that
+scales with the hardware:
+
+* :mod:`repro.runtime.fingerprint` — stable content fingerprints for queries,
+  configurations and hint sets (the keys of everything cached below).
+* :mod:`repro.runtime.plan_cache` — a shared LRU :class:`PlanCache` for
+  planner results, wired into :class:`repro.optimizer.planner.Planner`.
+* :mod:`repro.runtime.result_store` — a resumable JSON :class:`ResultStore`
+  with PostBOUND-style skip-existing semantics.
+* :mod:`repro.runtime.parallel` — the :class:`ParallelExperimentRunner` that
+  fans the (method × split × seed) grid over a ``concurrent.futures`` pool
+  with results bit-identical to serial execution.
+"""
+
+from repro.runtime.fingerprint import (
+    canonical_query_text,
+    config_fingerprint,
+    hints_fingerprint,
+    plan_request_key,
+    query_fingerprint,
+    stable_hash,
+    stable_seed,
+)
+from repro.runtime.plan_cache import CacheStats, PlanCache
+from repro.runtime.result_store import ResultStore, TaskKey
+
+
+def __getattr__(name: str):
+    # The parallel runner is exported lazily: importing it eagerly would close
+    # an import cycle (planner -> plan_cache -> this package -> parallel ->
+    # core.experiment -> lqo.base -> planner).
+    if name in ("ExperimentTask", "ParallelExperimentRunner"):
+        from repro.runtime import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CacheStats",
+    "ExperimentTask",
+    "ParallelExperimentRunner",
+    "PlanCache",
+    "ResultStore",
+    "TaskKey",
+    "canonical_query_text",
+    "config_fingerprint",
+    "hints_fingerprint",
+    "plan_request_key",
+    "query_fingerprint",
+    "stable_hash",
+    "stable_seed",
+]

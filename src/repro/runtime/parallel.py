@@ -1,0 +1,206 @@
+"""Parallel fan-out of the (method, split, seed) experiment grid.
+
+The paper's headline experiments sweep a grid of (method × split × seed)
+combinations whose tasks are mutually independent: every task trains and
+evaluates one optimizer on one split under its own seeded environment.  The
+:class:`ParallelExperimentRunner` exploits that independence by dispatching
+tasks onto a :mod:`concurrent.futures` pool while guaranteeing *bit-identical*
+results to serial execution:
+
+* **Task isolation** — every task runs against its own database view
+  (:meth:`repro.storage.database.Database.with_config` shares the read-only
+  table data but gives the task a private buffer pool), so no task can observe
+  another task's cache state.
+* **Deterministic seeding** — each task's seed is a stable digest of the task
+  identity (method, split, repeat), independent of scheduling order.
+* **Deterministic timing** — tasks run with
+  ``ExperimentConfig.deterministic_timing`` enabled, replacing wall-clock
+  inference/training measurement with simulated times (execution latencies
+  were already simulated).  Nothing in a task result depends on the wall
+  clock, so thread interleaving cannot perturb it.
+
+With a :class:`~repro.runtime.result_store.ResultStore` attached the grid is
+resumable: completed tasks are skipped (PostBOUND-style ``skip_existing``) and
+fresh results are persisted as they arrive.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.config import PostgresConfig, RuntimeConfig
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.metrics import MethodRunResult
+from repro.core.splits import DatasetSplit
+from repro.errors import ExperimentError
+from repro.runtime.fingerprint import stable_seed
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.result_store import ResultStore, TaskKey
+from repro.storage.database import Database
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One cell of the experiment grid."""
+
+    method: str
+    split: DatasetSplit
+    repeat: int = 0
+    base_seed: int = 0
+
+    @property
+    def task_seed(self) -> int:
+        """Deterministic per-task seed — a stable digest of the task identity.
+
+        Independent of grid order and scheduling, so adding or removing other
+        tasks never changes this task's result.
+        """
+        return stable_seed(self.base_seed, self.method, self.split.name, self.repeat)
+
+    def describe(self) -> str:
+        return f"{self.method} on {self.split.name} (repeat {self.repeat})"
+
+
+class ParallelExperimentRunner:
+    """Runs the experiment grid concurrently with serial-identical results."""
+
+    def __init__(
+        self,
+        database: Database,
+        workload: Workload,
+        config: PostgresConfig | None = None,
+        experiment_config: ExperimentConfig | None = None,
+        runtime_config: RuntimeConfig | None = None,
+        result_store: ResultStore | None = None,
+    ) -> None:
+        self.database = database
+        self.workload = workload
+        self.db_config = config or database.config
+        base = experiment_config or ExperimentConfig()
+        # Deterministic timing is not optional here: without it, per-task
+        # results would embed scheduling-dependent wall clocks and the
+        # serial-equivalence guarantee (and any resume) would be meaningless.
+        self.experiment_config = replace(base, deterministic_timing=True)
+        self.runtime_config = runtime_config or RuntimeConfig()
+        if result_store is None and self.runtime_config.store_dir is not None:
+            result_store = ResultStore(
+                self.runtime_config.store_dir,
+                skip_existing=self.runtime_config.skip_existing,
+            )
+        self.result_store = result_store
+
+    # ------------------------------------------------------------------ grid
+    def tasks_for(
+        self,
+        methods: tuple[str, ...] | list[str],
+        splits: list[DatasetSplit] | tuple[DatasetSplit, ...],
+        repeats: int = 1,
+    ) -> list[ExperimentTask]:
+        """Expand the (method × split × repeat) grid in deterministic order."""
+        if repeats < 1:
+            raise ExperimentError("experiment grid needs at least one repeat")
+        return [
+            ExperimentTask(
+                method=method,
+                split=split,
+                repeat=repeat,
+                base_seed=self.experiment_config.seed,
+            )
+            for repeat in range(repeats)
+            for split in splits
+            for method in methods
+        ]
+
+    # ------------------------------------------------------------------ one task
+    def _task_runner(self, task: ExperimentTask) -> ExperimentRunner:
+        """A pristine serial runner for one task.
+
+        ``with_config`` shares the immutable table data, indexes and
+        statistics but allocates a fresh, empty buffer pool — the task starts
+        cold regardless of what other tasks (or earlier grids) executed.
+        """
+        task_db = self.database.with_config(self.db_config)
+        return ExperimentRunner(
+            task_db,
+            self.workload,
+            config=self.db_config,
+            experiment_config=self.experiment_config.with_seed(task.task_seed),
+            # A zero-capacity cache genuinely disables caching (put() is a
+            # no-op); passing None would fall back to the planner's default.
+            plan_cache=PlanCache(self.runtime_config.plan_cache_entries),
+        )
+
+    def run_task(self, task: ExperimentTask) -> MethodRunResult:
+        """Execute one grid cell in isolation (no store interaction)."""
+        return self._task_runner(task).run_method(task.method, task.split)
+
+    def task_key(self, task: ExperimentTask) -> TaskKey:
+        return TaskKey(
+            workload=self.workload.name,
+            split_name=task.split.name,
+            method=task.method,
+            seed=task.task_seed,
+        )
+
+    def task_fingerprint(self, task: ExperimentTask) -> str:
+        """The store fingerprint of one task (context + split membership)."""
+        return self._task_runner(task).task_fingerprint(task.split)
+
+    def _run_or_resume(self, task: ExperimentTask) -> MethodRunResult:
+        if self.result_store is None:
+            return self.run_task(task)
+        # One runner serves both the fingerprint and the (possibly skipped)
+        # execution — building a second one per task would double the
+        # database-view and plan-cache setup cost.
+        runner = self._task_runner(task)
+        result, _ = self.result_store.load_or_run(
+            self.task_key(task),
+            lambda: runner.run_method(task.method, task.split),
+            runner.task_fingerprint(task.split),
+        )
+        return result
+
+    # ------------------------------------------------------------------ fan-out
+    def run_grid(
+        self,
+        methods: tuple[str, ...] | list[str],
+        splits: list[DatasetSplit] | tuple[DatasetSplit, ...],
+        repeats: int = 1,
+    ) -> list[MethodRunResult]:
+        """Run every grid cell; results are returned in grid order.
+
+        The output list is ordered by (repeat, split, method) regardless of
+        completion order, so downstream reporting is scheduling-independent.
+        """
+        tasks = self.tasks_for(methods, splits, repeats)
+        return self.run_tasks(tasks)
+
+    def run_tasks(self, tasks: list[ExperimentTask]) -> list[MethodRunResult]:
+        workers = min(self.runtime_config.workers, max(len(tasks), 1))
+        kind = self.runtime_config.executor_kind
+        if workers <= 1 or kind == "serial" or len(tasks) <= 1:
+            return [self._run_or_resume(task) for task in tasks]
+        with self._make_executor(kind, workers) as pool:
+            futures = [pool.submit(self._run_or_resume, task) for task in tasks]
+            return [future.result() for future in futures]
+
+    @staticmethod
+    def _make_executor(kind: str, workers: int) -> Executor:
+        if kind == "process":
+            return ProcessPoolExecutor(max_workers=workers)
+        return ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-task")
+
+    # ------------------------------------------------------------------ parity
+    def run_comparison(
+        self,
+        methods: tuple[str, ...] | list[str],
+        splits: list[DatasetSplit] | tuple[DatasetSplit, ...],
+    ) -> list[MethodRunResult]:
+        """Drop-in replacement for :meth:`ExperimentRunner.run_comparison`.
+
+        Note the ordering difference: the serial runner iterates splits
+        outermost, which matches this runner's (split, method) grid order.
+        """
+        return self.run_grid(methods, list(splits))

@@ -1,0 +1,135 @@
+"""A shared LRU cache for planner results.
+
+Planning is deterministic for a given (query, configuration, hint set), so the
+simulated DBMS can reuse a produced plan whenever the same request recurs —
+which it constantly does: the hot-cache protocol plans every query once but
+executes it three times per repetition, ablations sweep knobs around a fixed
+workload, and LQO training loops re-plan the same training queries every
+iteration.  Entries are keyed by content fingerprints
+(:mod:`repro.runtime.fingerprint`) plus a planner-provided scope covering the
+database identity and GEQO parameters, so any knob, hint, database or
+enumeration change maps to a different entry — sharing one cache across
+differently-configured planners is then safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.config import PostgresConfig
+from repro.plans.hints import HintSet
+from repro.runtime.fingerprint import plan_request_key
+from repro.sql.binder import BoundQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner imports us)
+    from repro.optimizer.planner import PlannerResult
+
+#: Default number of cached planner results (a PlannerResult is small; the
+#: dominant memory cost is the plan tree, a few KB per entry).
+DEFAULT_CACHE_ENTRIES = 1024
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`PlanCache`.
+
+    Counters are mutated only under the owning cache's lock; the stats object
+    itself carries no synchronization.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU cache mapping plan-request fingerprints to planner results.
+
+    A ``max_entries`` of ``0`` disables caching entirely (every lookup misses
+    and nothing is stored), which keeps the planner code path uniform.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if max_entries < 0:
+            raise ValueError("PlanCache max_entries must be >= 0")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, "PlannerResult"] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ keying
+    @staticmethod
+    def key_for(
+        query: BoundQuery,
+        config: PostgresConfig,
+        hints: HintSet,
+        scope: str = "",
+    ) -> tuple:
+        """Full cache key of one planning request.
+
+        ``scope`` disambiguates everything the request fingerprints cannot
+        see — the planner passes a digest of its database identity and GEQO
+        parameters, so one cache can serve many planners.
+        """
+        return (*plan_request_key(query, config, hints), scope)
+
+    # ------------------------------------------------------------------ access
+    def get(self, key: tuple) -> "PlannerResult | None":
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: tuple, result: "PlannerResult") -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ management
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def describe(self) -> str:
+        stats = self.stats
+        return (
+            f"PlanCache({len(self)}/{self.max_entries} entries, "
+            f"{stats.hits} hits / {stats.misses} misses, "
+            f"hit rate {stats.hit_rate:.1%}, {stats.evictions} evictions)"
+        )

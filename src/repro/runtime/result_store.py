@@ -1,0 +1,239 @@
+"""A resumable JSON result store with skip-existing semantics.
+
+Modelled on PostBOUND's experiment harness: every completed (workload, split,
+method, seed) task is persisted as one JSON file, and a re-run of the same
+grid loads the stored results instead of recomputing them.  Killing a long
+sweep halfway and restarting it therefore only pays for the tasks that were
+still missing — the resume behaviour the paper's multi-hour experiment grids
+need.
+
+Stored payloads carry a *context fingerprint* (database configuration,
+experiment knobs and split membership).  The fingerprint is part of the file
+name, so runs of the same (workload, split, method, seed) under different
+configurations coexist instead of overwriting each other, and a file whose
+fingerprint does not match the requesting context is treated as missing —
+stale results from an earlier configuration can never silently leak into a
+new sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
+    from repro.core.metrics import MethodRunResult
+
+#: Format version written into every result file.
+STORE_FORMAT_VERSION = 1
+
+_SANITIZE_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _sanitize(part: str) -> str:
+    """File-system safe rendering of one key component."""
+    cleaned = _SANITIZE_RE.sub("_", part.strip())
+    return cleaned or "_"
+
+
+@dataclass(frozen=True)
+class TaskKey:
+    """Identity of one stored method run."""
+
+    workload: str
+    split_name: str
+    method: str
+    seed: int = 0
+
+    def relative_path(self, context_fingerprint: str | None = None) -> Path:
+        stem = f"{_sanitize(self.method)}-seed{self.seed}"
+        if context_fingerprint is not None:
+            stem += f"-{_sanitize(context_fingerprint)[:8]}"
+        return Path(_sanitize(self.workload)) / _sanitize(self.split_name) / f"{stem}.json"
+
+    def glob_pattern(self) -> str:
+        """Matches this key's files under *any* context fingerprint.
+
+        The ``[.-]`` class keeps ``seed1`` from matching ``seed10``: after the
+        seed only ``.json`` (no fingerprint) or ``-<fp>.json`` may follow.
+        """
+        return f"{_sanitize(self.method)}-seed{self.seed}[.-]*"
+
+    def describe(self) -> str:
+        return f"{self.workload}/{self.split_name}/{self.method} (seed {self.seed})"
+
+
+class ResultStore:
+    """Directory-backed store of :class:`MethodRunResult` payloads.
+
+    Writes are atomic (write-to-temp + rename), so a killed run can never
+    leave a half-written JSON file that would poison the next resume.
+    """
+
+    def __init__(self, root: str | os.PathLike, skip_existing: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.skip_existing = skip_existing
+        #: Resume accounting: how many loads were served from disk vs. computed.
+        self.loaded_count = 0
+        self.stored_count = 0
+
+    # ------------------------------------------------------------------ paths
+    def path_for(self, key: TaskKey, context_fingerprint: str | None = None) -> Path:
+        return self.root / key.relative_path(context_fingerprint)
+
+    def _candidate_paths(self, key: TaskKey) -> list[Path]:
+        """Every stored file for ``key``, regardless of context fingerprint."""
+        directory = self.path_for(key).parent
+        if not directory.is_dir():
+            return []
+        return sorted(directory.glob(key.glob_pattern()))
+
+    def exists(self, key: TaskKey, context_fingerprint: str | None = None) -> bool:
+        """Whether a usable stored result exists for ``key``.
+
+        With a ``context_fingerprint``, only a result produced under that
+        exact context counts; without one, any stored variant does.
+        """
+        if context_fingerprint is None:
+            return bool(self._candidate_paths(key))
+        path = self.path_for(key, context_fingerprint)
+        if not path.is_file():
+            return False
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return payload.get("context_fingerprint") == context_fingerprint
+
+    # ------------------------------------------------------------------ access
+    def save(
+        self,
+        key: TaskKey,
+        result: "MethodRunResult",
+        context_fingerprint: str | None = None,
+    ) -> Path:
+        """Atomically persist one method run."""
+        path = self.path_for(key, context_fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": STORE_FORMAT_VERSION,
+            "key": {
+                "workload": key.workload,
+                "split_name": key.split_name,
+                "method": key.method,
+                "seed": key.seed,
+            },
+            "context_fingerprint": context_fingerprint,
+            "result": result.to_dict(),
+        }
+        self._atomic_write(path, payload)
+        self.stored_count += 1
+        return path
+
+    def load(self, key: TaskKey, context_fingerprint: str | None = None) -> "MethodRunResult":
+        """Load one stored method run (raises :class:`ExperimentError` if unusable)."""
+        from repro.core.metrics import MethodRunResult
+
+        if context_fingerprint is not None:
+            path = self.path_for(key, context_fingerprint)
+        else:
+            candidates = self._candidate_paths(key)
+            if not candidates:
+                raise ExperimentError(f"no stored result for {key.describe()}")
+            path = candidates[0]
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError as exc:
+            raise ExperimentError(f"no stored result for {key.describe()}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ExperimentError(f"corrupt stored result at {path}") from exc
+        if (
+            context_fingerprint is not None
+            and payload.get("context_fingerprint") != context_fingerprint
+        ):
+            raise ExperimentError(
+                f"stored result for {key.describe()} was produced under a different "
+                "configuration (context fingerprint mismatch)"
+            )
+        self.loaded_count += 1
+        return MethodRunResult.from_dict(payload["result"])
+
+    def load_or_run(
+        self,
+        key: TaskKey,
+        thunk: Callable[[], "MethodRunResult"],
+        context_fingerprint: str | None = None,
+    ) -> tuple["MethodRunResult", bool]:
+        """Return ``(result, was_resumed)``: load when possible, else run and save."""
+        if self.skip_existing and self.exists(key, context_fingerprint):
+            return self.load(key, context_fingerprint), True
+        result = thunk()
+        self.save(key, result, context_fingerprint)
+        return result, False
+
+    # ------------------------------------------------------------------ sweeps
+    def pending(
+        self, keys: Iterable[TaskKey], context_fingerprint: str | None = None
+    ) -> list[TaskKey]:
+        """The subset of ``keys`` that still needs to be computed."""
+        if not self.skip_existing:
+            return list(keys)
+        return [key for key in keys if not self.exists(key, context_fingerprint)]
+
+    def completed_files(self) -> Iterator[Path]:
+        yield from sorted(self.root.rglob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored result file; returns the number removed."""
+        removed = 0
+        for path in list(self.completed_files()):
+            path.unlink()
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ artifacts
+    def save_artifact(self, name: str, payload: object) -> Path:
+        """Persist an arbitrary JSON artefact (summary tables, figure rows)."""
+        path = self.root / "artifacts" / f"{_sanitize(name)}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, payload)
+        return path
+
+    def load_artifact(self, name: str) -> object:
+        path = self.root / "artifacts" / f"{_sanitize(name)}.json"
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError as exc:
+            raise ExperimentError(f"no stored artifact named {name!r}") from exc
+
+    # ------------------------------------------------------------------ plumbing
+    @staticmethod
+    def _atomic_write(path: Path, payload: object) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem + ".", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def describe(self) -> str:
+        n_files = sum(1 for _ in self.completed_files())
+        return (
+            f"ResultStore({self.root}, {n_files} stored results, "
+            f"{self.loaded_count} resumed / {self.stored_count} written this run)"
+        )

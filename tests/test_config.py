@@ -15,6 +15,7 @@ from repro.config import (
     OUR_FRAMEWORK_CONFIG,
     PAGE_SIZE_BYTES,
     PostgresConfig,
+    RuntimeConfig,
     format_bytes,
     get_preset,
     iter_presets,
@@ -108,3 +109,39 @@ class TestFormatBytes:
 
     def test_work_mem_tuples_positive(self):
         assert PostgresConfig().work_mem_tuples > 0
+
+
+class TestFingerprints:
+    def test_equal_configs_equal_fingerprints(self):
+        assert PostgresConfig().fingerprint() == PostgresConfig().fingerprint()
+        rebuilt = DEFAULT_CONFIG.with_overrides()
+        assert rebuilt.fingerprint() == DEFAULT_CONFIG.fingerprint()
+
+    def test_every_preset_fingerprint_distinct(self):
+        fingerprints = {config.fingerprint() for _, config in iter_presets()}
+        assert len(fingerprints) == len(CONFIG_PRESETS)
+
+    def test_single_knob_mutation_changes_fingerprint(self):
+        base = DEFAULT_CONFIG
+        mutated = base.with_overrides(geqo_threshold=base.geqo_threshold + 1)
+        assert mutated.fingerprint() != base.fingerprint()
+        # Reverting the knob restores the original fingerprint exactly.
+        restored = mutated.with_overrides(geqo_threshold=base.geqo_threshold)
+        assert restored.fingerprint() == base.fingerprint()
+
+    def test_configs_are_hashable_value_objects(self):
+        assert hash(PostgresConfig()) == hash(PostgresConfig())
+        assert PostgresConfig() in {DEFAULT_CONFIG}
+
+
+class TestRuntimeConfigDefaults:
+    def test_defaults(self):
+        config = RuntimeConfig()
+        assert config.workers == 1
+        assert config.executor_kind == "thread"
+        assert config.plan_cache_entries > 0
+        assert config.store_dir is None and config.skip_existing is True
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(executor_kind="gpu")

@@ -1,8 +1,12 @@
 """Tests for the execution engine: correctness, cache behaviour, timing, EXPLAIN."""
 
+import itertools
+
 import numpy as np
 import pytest
 
+from repro.catalog.schema import Column, ForeignKey, Index, Schema, Table
+from repro.catalog.statistics import NULL_SENTINEL
 from repro.executor.engine import ExecutionEngine
 from repro.executor.explain import explain_analyze, explain_analyze_text, explain_plan
 from repro.executor.operators import OperatorMetrics, join_match_positions
@@ -11,7 +15,10 @@ from repro.config import SIMULATION_CONFIG
 from repro.optimizer.enumeration import enumerate_join_trees, left_deep_plan_from_order
 from repro.optimizer.planner import Planner
 from repro.plans.hints import HintSet, OperatorToggles
+from repro.plans.physical import ScanType
 from repro.sql.binder import bind_sql
+from repro.storage.database import Database
+from repro.storage.table_data import TableData
 
 COUNT_QUERY = (
     "SELECT COUNT(*) FROM title AS t, movie_keyword AS mk, keyword AS k "
@@ -176,6 +183,259 @@ class TestCacheAndTiming:
         b = OperatorMetrics(pages_hit=2, cpu_ops=5)
         a.merge(b)
         assert a.pages_hit == 3 and a.cpu_ops == 5 and a.tuples_in == 10
+
+
+# ---------------------------------------------------------------------------
+# Brute-force oracle on small generated tables (incl. NULL-sentinel handling)
+# ---------------------------------------------------------------------------
+
+
+def _tiny_database() -> Database:
+    """Three small tables whose join columns deliberately contain NULLs.
+
+    ``child.parent_id`` and ``link.parent_id`` are both nullable foreign keys
+    into ``parent`` — joining *child* to *link* therefore puts NULLs on both
+    sides of the equi-join, the case where SQL semantics (NULL never equals
+    NULL) and a naive sentinel match diverge.
+    """
+    rng = np.random.default_rng(12345)
+
+    parent = Table(
+        "parent",
+        columns=[Column("id"), Column("category"), Column("score")],
+    )
+    child = Table(
+        "child",
+        columns=[Column("id"), Column("parent_id"), Column("kind")],
+        indexes=[Index(table="child", column="parent_id"), Index(table="child", column="kind")],
+    )
+    link = Table(
+        "link",
+        columns=[Column("id"), Column("parent_id"), Column("weight")],
+        indexes=[Index(table="link", column="parent_id")],
+    )
+    schema = Schema(
+        "tiny-oracle",
+        tables=[parent, child, link],
+        foreign_keys=[
+            ForeignKey("child", "parent_id", "parent", "id"),
+            ForeignKey("link", "parent_id", "parent", "id"),
+        ],
+    )
+
+    n_parent, n_child, n_link = 12, 40, 30
+
+    def nullable_fk(size: int, null_frac: float) -> np.ndarray:
+        column = rng.integers(1, n_parent + 1, size).astype(np.int64)
+        column[rng.random(size) < null_frac] = NULL_SENTINEL
+        return column
+
+    kind = rng.integers(0, 9, n_child).astype(np.int64)
+    kind[rng.random(n_child) < 0.2] = NULL_SENTINEL
+
+    tables = {
+        "parent": TableData(
+            table=parent,
+            columns={
+                "id": np.arange(1, n_parent + 1, dtype=np.int64),
+                "category": rng.integers(0, 3, n_parent).astype(np.int64),
+                "score": rng.integers(0, 100, n_parent).astype(np.int64),
+            },
+        ),
+        "child": TableData(
+            table=child,
+            columns={
+                "id": np.arange(1, n_child + 1, dtype=np.int64),
+                "parent_id": nullable_fk(n_child, 0.25),
+                "kind": kind,
+            },
+        ),
+        "link": TableData(
+            table=link,
+            columns={
+                "id": np.arange(1, n_link + 1, dtype=np.int64),
+                "parent_id": nullable_fk(n_link, 0.3),
+                "weight": rng.integers(0, 50, n_link).astype(np.int64),
+            },
+        ),
+    }
+    return Database(schema=schema, tables=tables, config=SIMULATION_CONFIG)
+
+
+def _oracle_filter_ok(data, predicate, row: int) -> bool:
+    """SQL three-valued logic on one row: NULL fails everything but IS NULL."""
+    value = int(data.column(predicate.column)[row])
+    if predicate.op == "is_null":
+        return value == NULL_SENTINEL
+    if predicate.op == "is_not_null":
+        return value != NULL_SENTINEL
+    if value == NULL_SENTINEL:
+        return False
+    literal = data.encode(predicate.column, predicate.value)
+    if predicate.op == "=":
+        return value == literal
+    if predicate.op == "!=":
+        return value != literal
+    if predicate.op == "<":
+        return value < literal
+    if predicate.op == "<=":
+        return value <= literal
+    if predicate.op == ">":
+        return value > literal
+    if predicate.op == ">=":
+        return value >= literal
+    raise NotImplementedError(predicate.op)
+
+
+def oracle_tuples(db: Database, query) -> list[dict[str, int]]:
+    """Reference evaluation: filters then an exhaustive nested-loop join."""
+    filtered: list[tuple[str, list[int]]] = []
+    for relation in query.relations:
+        data = db.table_data(relation.table)
+        predicates = query.filters_for(relation.alias)
+        rows = [
+            row
+            for row in range(data.row_count)
+            if all(_oracle_filter_ok(data, p, row) for p in predicates)
+        ]
+        filtered.append((relation.alias, rows))
+
+    aliases = [alias for alias, _ in filtered]
+    results = []
+    for combo in itertools.product(*(rows for _, rows in filtered)):
+        assignment = dict(zip(aliases, combo))
+        ok = True
+        for join in query.joins:
+            left = int(
+                db.table_data(query.table_of(join.left_alias)).column(join.left_column)[
+                    assignment[join.left_alias]
+                ]
+            )
+            right = int(
+                db.table_data(query.table_of(join.right_alias)).column(join.right_column)[
+                    assignment[join.right_alias]
+                ]
+            )
+            if left == NULL_SENTINEL or right == NULL_SENTINEL or left != right:
+                ok = False
+                break
+        if ok:
+            results.append(assignment)
+    return results
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return _tiny_database()
+
+
+@pytest.fixture(scope="module")
+def tiny_engine(tiny_db):
+    return ExecutionEngine(tiny_db)
+
+
+class TestNestedLoopOracle:
+    def _count(self, engine, db, sql: str):
+        query = bind_sql(sql, db.schema, name="oracle")
+        planner = Planner(db)
+        result = engine.execute(query, planner.plan(query))
+        return query, int(result.rows[0][0])
+
+    def test_fk_join_with_nulls_matches_oracle(self, tiny_db, tiny_engine):
+        sql = (
+            "SELECT COUNT(*) FROM child AS c, parent AS p WHERE c.parent_id = p.id"
+        )
+        query, count = self._count(tiny_engine, tiny_db, sql)
+        assert count == len(oracle_tuples(tiny_db, query))
+
+    def test_null_on_both_sides_never_matches(self, tiny_db, tiny_engine):
+        """child ⋈ link on two *nullable* columns: NULL = NULL must not match."""
+        child_nulls = int(
+            (tiny_db.table_data("child").column("parent_id") == NULL_SENTINEL).sum()
+        )
+        link_nulls = int(
+            (tiny_db.table_data("link").column("parent_id") == NULL_SENTINEL).sum()
+        )
+        assert child_nulls > 0 and link_nulls > 0  # the test must exercise NULLs
+        sql = "SELECT COUNT(*) FROM child AS c, link AS l WHERE c.parent_id = l.parent_id"
+        query, count = self._count(tiny_engine, tiny_db, sql)
+        expected = len(oracle_tuples(tiny_db, query))
+        assert count == expected
+        # Sanity: a sentinel-blind join would have overcounted by exactly the
+        # number of NULL×NULL pairs.
+        assert count + child_nulls * link_nulls > expected
+
+    def test_three_way_join_all_plan_shapes_match_oracle(self, tiny_db, tiny_engine):
+        sql = (
+            "SELECT COUNT(*) FROM child AS c, parent AS p, link AS l "
+            "WHERE c.parent_id = p.id AND l.parent_id = p.id AND p.score > 20"
+        )
+        query = bind_sql(sql, tiny_db.schema, name="oracle3")
+        expected = len(oracle_tuples(tiny_db, query))
+        planner = Planner(tiny_db)
+        counts = {
+            int(tiny_engine.execute(query, plan).rows[0][0])
+            for plan in enumerate_join_trees(query, planner.cost_model)
+        }
+        assert counts == {expected}
+
+    def test_filtered_join_matches_oracle(self, tiny_db, tiny_engine):
+        sql = (
+            "SELECT COUNT(*) FROM child AS c, parent AS p "
+            "WHERE c.parent_id = p.id AND c.kind > 3 AND p.category = 1"
+        )
+        query, count = self._count(tiny_engine, tiny_db, sql)
+        assert count == len(oracle_tuples(tiny_db, query))
+
+    def test_is_null_filter_matches_oracle(self, tiny_db, tiny_engine):
+        sql = "SELECT COUNT(*) FROM child AS c WHERE c.parent_id IS NULL"
+        query, count = self._count(tiny_engine, tiny_db, sql)
+        oracle = len(oracle_tuples(tiny_db, query))
+        assert count == oracle > 0
+
+    def test_index_scan_below_filter_excludes_nulls(self, tiny_db, tiny_engine):
+        """`kind < 5` via an index range scan must not sweep in NULL rows."""
+        sql = "SELECT COUNT(*) FROM child AS c WHERE c.kind < 5"
+        query = bind_sql(sql, tiny_db.schema, name="below")
+        planner = Planner(tiny_db)
+        expected = len(oracle_tuples(tiny_db, query))
+        counts = {}
+        for scan_type in (ScanType.SEQ, ScanType.INDEX, ScanType.BITMAP):
+            hints = HintSet(scan_methods={"c": scan_type})
+            plan = planner.plan(query, hints)
+            counts[scan_type] = int(tiny_engine.execute(query, plan).rows[0][0])
+        assert counts == {
+            ScanType.SEQ: expected,
+            ScanType.INDEX: expected,
+            ScanType.BITMAP: expected,
+        }
+
+    def test_forced_nestloop_uses_null_aware_index_probe(self, tiny_db, tiny_engine):
+        """An index nested loop probing with NULL outer keys must skip them."""
+        sql = "SELECT COUNT(*) FROM link AS l, child AS c WHERE l.parent_id = c.parent_id"
+        query = bind_sql(sql, tiny_db.schema, name="inl")
+        expected = len(oracle_tuples(tiny_db, query))
+        planner = Planner(tiny_db)
+        hints = HintSet(toggles=OperatorToggles(hashjoin=False, mergejoin=False))
+        plan = planner.plan(query, hints)
+        assert int(tiny_engine.execute(query, plan).rows[0][0]) == expected
+
+    def test_group_by_matches_oracle(self, tiny_db, tiny_engine):
+        sql = (
+            "SELECT p.category, COUNT(*) FROM parent AS p, child AS c "
+            "WHERE c.parent_id = p.id GROUP BY p.category"
+        )
+        query = bind_sql(sql, tiny_db.schema, name="group-oracle")
+        tuples = oracle_tuples(tiny_db, query)
+        category_column = tiny_db.table_data("parent").column("category")
+        expected: dict[int, int] = {}
+        for assignment in tuples:
+            category = int(category_column[assignment["p"]])
+            expected[category] = expected.get(category, 0) + 1
+        planner = Planner(tiny_db)
+        result = tiny_engine.execute(query, planner.plan(query))
+        got = {int(row[0]): int(row[1]) for row in result.rows}
+        assert got == expected
 
 
 class TestExplain:

@@ -1,5 +1,7 @@
 """Tests for cardinality estimation, the cost model, enumeration, GEQO and the planner."""
 
+from random import Random
+
 import numpy as np
 import pytest
 
@@ -16,9 +18,21 @@ from repro.optimizer.enumeration import (
     left_deep_plan_from_order,
 )
 from repro.optimizer.geqo import GeqoEnumerator, GeqoParameters
-from repro.optimizer.planner import STRATEGY_DP, STRATEGY_FORCED, STRATEGY_GEQO, Planner
+from repro.optimizer.planner import (
+    STRATEGY_DP,
+    STRATEGY_FORCED,
+    STRATEGY_GEQO,
+    STRATEGY_GREEDY,
+    Planner,
+)
 from repro.plans.hints import HintSet, OperatorToggles
-from repro.plans.physical import JoinType, ScanType, plan_join_nodes, plan_scan_nodes
+from repro.plans.physical import (
+    JoinType,
+    ScanType,
+    plan_join_nodes,
+    plan_scan_nodes,
+    strip_decorations,
+)
 from repro.plans.properties import is_left_deep, join_order_of
 from repro.sql.binder import bind_sql
 
@@ -226,6 +240,99 @@ class TestGeqo:
         dp_cost = DPEnumerator(model).plan(q).estimated_cost
         geqo_cost = GeqoEnumerator(model).plan(q).estimated_cost
         assert geqo_cost <= dp_cost * 5.0
+
+
+def random_join_query(schema, rng: Random, n_relations: int) -> str:
+    """A random connected join query grown along the schema's FK edges.
+
+    Starts from a random foreign key and repeatedly attaches a new table via a
+    random edge touching the current table set, yielding a connected join
+    graph of ``n_relations`` distinct tables.
+    """
+    edges = [
+        (fk.child_table, fk.child_column, fk.parent_table, fk.parent_column)
+        for fk in schema.foreign_keys
+        if fk.child_table != fk.parent_table
+    ]
+    start = edges[rng.randrange(len(edges))]
+    tables = {start[0], start[2]}
+    conditions = [f"{start[0]}.{start[1]} = {start[2]}.{start[3]}"]
+    while len(tables) < n_relations:
+        candidates = [
+            e
+            for e in edges
+            if (e[0] in tables) != (e[2] in tables)  # exactly one endpoint inside
+        ]
+        if not candidates:
+            break
+        child, child_col, parent, parent_col = candidates[rng.randrange(len(candidates))]
+        tables.add(child if parent in tables else parent)
+        conditions.append(f"{child}.{child_col} = {parent}.{parent_col}")
+    from_clause = ", ".join(f"{t} AS {t}" for t in sorted(tables))
+    return f"SELECT COUNT(*) FROM {from_clause} WHERE {' AND '.join(conditions)}"
+
+
+class TestPlannerProperties:
+    """Property-style invariants on randomized join graphs (seeded for determinism)."""
+
+    N_RANDOM_GRAPHS = 12
+
+    def test_dp_cost_never_worse_than_greedy(self, imdb_db):
+        """DP is exhaustive over a superset of greedy's search space."""
+        rng = Random(0)
+        model = CostModel(imdb_db)
+        for trial in range(self.N_RANDOM_GRAPHS):
+            sql = random_join_query(imdb_db.schema, rng, rng.randint(3, 6))
+            query = bind_sql(sql, imdb_db.schema, name=f"prop-{trial}")
+            dp_cost = DPEnumerator(model).plan(query).estimated_cost
+            greedy_cost = greedy_plan(query, model).estimated_cost
+            assert dp_cost <= greedy_cost * (1 + 1e-9), sql
+
+    def test_dp_cost_never_worse_than_random_left_deep_orders(self, imdb_db):
+        rng = Random(0)
+        model = CostModel(imdb_db)
+        for trial in range(self.N_RANDOM_GRAPHS // 2):
+            sql = random_join_query(imdb_db.schema, rng, rng.randint(3, 5))
+            query = bind_sql(sql, imdb_db.schema, name=f"prop-ld-{trial}")
+            dp_cost = DPEnumerator(model).plan(query).estimated_cost
+            for _ in range(4):
+                order = list(query.aliases)
+                rng.shuffle(order)
+                shuffled = left_deep_plan_from_order(query, model, order)
+                assert dp_cost <= shuffled.estimated_cost * (1 + 1e-9), (sql, order)
+
+    def test_geqo_respects_threshold(self, imdb_db):
+        """The planner switches to GEQO exactly at ``geqo_threshold`` relations."""
+        rng = Random(0)
+        for trial in range(self.N_RANDOM_GRAPHS):
+            n = rng.randint(3, 6)
+            sql = random_join_query(imdb_db.schema, rng, n)
+            query = bind_sql(sql, imdb_db.schema, name=f"prop-geqo-{trial}")
+            threshold = rng.randint(2, 8)
+            config = SIMULATION_CONFIG.with_overrides(geqo=True, geqo_threshold=threshold)
+            strategy = Planner(imdb_db, config).plan_with_info(query).strategy
+            if query.num_relations >= threshold:
+                assert strategy == STRATEGY_GEQO, (sql, threshold)
+            else:
+                assert strategy != STRATEGY_GEQO, (sql, threshold)
+
+    def test_geqo_disabled_never_selected(self, imdb_db):
+        rng = Random(0)
+        for trial in range(self.N_RANDOM_GRAPHS // 2):
+            sql = random_join_query(imdb_db.schema, rng, rng.randint(3, 6))
+            query = bind_sql(sql, imdb_db.schema, name=f"prop-nogeqo-{trial}")
+            config = SIMULATION_CONFIG.with_overrides(geqo=False, geqo_threshold=2)
+            result = Planner(imdb_db, config).plan_with_info(query)
+            assert result.strategy in (STRATEGY_DP, STRATEGY_GREEDY)
+
+    def test_geqo_plan_still_covers_all_aliases(self, imdb_db):
+        rng = Random(0)
+        config = SIMULATION_CONFIG.with_overrides(geqo=True, geqo_threshold=2)
+        for trial in range(self.N_RANDOM_GRAPHS // 2):
+            sql = random_join_query(imdb_db.schema, rng, rng.randint(4, 6))
+            query = bind_sql(sql, imdb_db.schema, name=f"prop-cover-{trial}")
+            plan = Planner(imdb_db, config).plan(query)
+            assert strip_decorations(plan).aliases == frozenset(query.aliases)
 
 
 class TestPlanner:
