@@ -1,23 +1,37 @@
 # Developer entry points for the paper reproduction.
 #
-#   make test          - tier-1 test suite (the driver's gate)
-#   make bench-smoke   - one fast benchmark as an end-to-end smoke check
-#   make bench         - every benchmark at reduced scale
-#   make example       - the parallel+resume runtime demo
+#   make test           - tier-1 test suite (the driver's gate)
+#   make lint           - ruff check (+ advisory format check), as in CI
+#   make bench-smoke    - one fast benchmark as an end-to-end smoke check
+#   make bench-parallel - process-pool sweep with resume-skip assertion, as in CI
+#   make bench          - every benchmark at reduced scale
+#   make example        - the parallel+resume runtime demo
 #
 # Benchmarks honour REPRO_BENCH_SCALE / REPRO_BENCH_FULL / REPRO_BENCH_WORKERS /
-# REPRO_BENCH_STORE (see benchmarks/conftest.py).
+# REPRO_BENCH_EXECUTOR / REPRO_BENCH_STORE (see benchmarks/conftest.py).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench example
+# Store directory of the bench-parallel resume check (temp dir by default).
+BENCH_PARALLEL_STORE ?= $(shell mktemp -d /tmp/repro-store.XXXXXX)
+
+.PHONY: test lint bench-smoke bench-parallel bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+lint:
+	ruff check .
+	-ruff format --check .
+
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_figure3_splits.py -q
+
+bench-parallel:
+	REPRO_BENCH_WORKERS=2 REPRO_BENCH_EXECUTOR=process \
+	REPRO_BENCH_STORE=$(BENCH_PARALLEL_STORE) \
+	$(PYTHON) examples/parallel_experiments.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

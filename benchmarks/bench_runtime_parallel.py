@@ -1,11 +1,15 @@
-"""Benchmark RT: the experiment runtime — plan caching, fan-out, resume.
+"""Benchmark RT: the experiment runtime — plan caching, fan-out, dispatch, resume.
 
 Expected shape: a warm :class:`PlanCache` serves repeated planning requests at
 least 2x faster than planning from scratch (in practice orders of magnitude),
-the parallel grid produces results identical to serial execution, and a
-resumed sweep recomputes nothing.
+the parallel grid produces results identical to serial execution, a resumed
+sweep recomputes nothing, and process-pool dispatch ships a constant-size
+:class:`DatabaseSpec` payload — per-task pickling cost no longer grows with
+database scale.
 """
 
+import json
+import pickle
 import time
 
 from repro.config import RuntimeConfig
@@ -19,6 +23,9 @@ from repro.runtime.result_store import ResultStore
 
 #: Number of repeated planning passes over the workload (ablation-style reuse).
 PLANNING_PASSES = 5
+
+#: Spec dispatch must stay below this pickled payload size at any scale.
+MAX_PAYLOAD_BYTES = 10 * 1024
 
 
 def test_plan_cache_speedup_on_repeated_planning(benchmark, bench_scale):
@@ -56,7 +63,13 @@ def test_plan_cache_speedup_on_repeated_planning(benchmark, bench_scale):
 
 
 def test_parallel_grid_smoke_and_resume(benchmark, bench_scale, bench_runtime, tmp_path):
-    """Fan the reduced grid out over workers, then resume it from the store."""
+    """Fan the reduced grid out over workers, then resume it from the store.
+
+    Honours ``REPRO_BENCH_EXECUTOR``: with ``process`` the grid dispatches
+    spec payloads and workers write the store, so resume is asserted via the
+    stored files' write times (parent-side load counters only cover the
+    thread/serial executors).
+    """
     context = job_context(bench_scale)
     split = generate_split(context.workload, SplitSampling.RANDOM, seed=0)
     store = ResultStore(tmp_path / "rt-store")
@@ -65,22 +78,99 @@ def test_parallel_grid_smoke_and_resume(benchmark, bench_scale, bench_runtime, t
 
     def sweep() -> list:
         runner = ParallelExperimentRunner(
-            context.database,
+            context.dispatch_source,
             context.workload,
             experiment_config=config,
-            runtime_config=RuntimeConfig(workers=max(bench_runtime.workers, 2)),
+            runtime_config=RuntimeConfig(
+                workers=max(bench_runtime.workers, 2),
+                executor_kind=bench_runtime.executor_kind,
+            ),
             result_store=store,
         )
         return runner.run_grid(methods, [split])
 
     first = benchmark.pedantic(sweep, iterations=1, rounds=1)
     assert [r.method for r in first] == list(methods)
-    assert store.stored_count == len(methods)
+    files_before = {path: path.stat().st_mtime_ns for path in store.completed_files()}
+    assert len(files_before) == len(methods)
 
     resume_start = time.perf_counter()
     second = sweep()
     resume_elapsed = time.perf_counter() - resume_start
     assert [r.to_dict() for r in second] == [r.to_dict() for r in first]
-    assert store.loaded_count == len(methods)  # nothing was recomputed
+    files_after = {path: path.stat().st_mtime_ns for path in store.completed_files()}
+    assert files_after == files_before  # nothing was recomputed or re-written
     print()
     print(f"resume of {len(methods)}-task grid took {resume_elapsed * 1000:.1f} ms; {store.describe()}")
+
+
+def test_spec_dispatch_payload_constant_in_scale(benchmark, bench_scale):
+    """Process-pool dispatch ships the spec: payload size must not grow with scale.
+
+    The legacy path pickled the whole database per task (cost linear in table
+    bytes); spec dispatch pickles a :class:`SpecTaskPayload` of a few hundred
+    bytes regardless of scale.  Measured here at the bench scale and at 4x.
+    """
+    split_ids = dict(train_ids=("1a", "2a", "3a"), test_ids=("1b", "2b"))
+    payload_bytes: dict[float, int] = {}
+    database_bytes: dict[float, int] = {}
+
+    def measure() -> dict[float, int]:
+        from repro.core.splits import DatasetSplit
+
+        for scale in (bench_scale, 4 * bench_scale):
+            context = job_context(scale)
+            runner = ParallelExperimentRunner(
+                context.dispatch_source,
+                context.workload,
+                runtime_config=RuntimeConfig(workers=2, executor_kind="process"),
+            )
+            assert runner.uses_spec_dispatch
+            split = DatasetSplit(context.workload.name, SplitSampling.RANDOM, 0, **split_ids)
+            task = runner.tasks_for(("postgres",), [split])[0]
+            payload_bytes[scale] = len(pickle.dumps(runner.spec_payload(task)))
+            database_bytes[scale] = len(pickle.dumps(context.database))
+        return payload_bytes
+
+    benchmark.pedantic(measure, iterations=1, rounds=1)
+    small, large = sorted(payload_bytes)
+    print()
+    for scale in (small, large):
+        ratio = database_bytes[scale] / max(payload_bytes[scale], 1)
+        print(
+            f"scale {scale:g}: spec payload {payload_bytes[scale]} B vs database pickle "
+            f"{database_bytes[scale] / 1e6:.1f} MB ({ratio:,.0f}x smaller)"
+        )
+    assert payload_bytes[small] < MAX_PAYLOAD_BYTES
+    assert payload_bytes[large] < MAX_PAYLOAD_BYTES
+    # Constant in scale: quadrupling the database must not grow the payload.
+    assert payload_bytes[large] == payload_bytes[small]
+    # The database pickle it replaces *does* grow with scale.
+    assert database_bytes[large] > database_bytes[small]
+
+
+def test_process_pool_spec_dispatch_equivalent_to_serial(benchmark, bench_scale):
+    """Spec-dispatched process-pool results stay byte-identical to serial."""
+    context = job_context(bench_scale)
+    split = generate_split(context.workload, SplitSampling.RANDOM, seed=0)
+    config = ExperimentConfig(optimizer_kwargs={"bao": {"training_passes": 1}})
+    methods = ("postgres", "bao")
+
+    def run(kind: str, workers: int) -> list:
+        runner = ParallelExperimentRunner(
+            context.dispatch_source,
+            context.workload,
+            experiment_config=config,
+            runtime_config=RuntimeConfig(workers=workers, executor_kind=kind),
+        )
+        return runner.run_grid(methods, [split])
+
+    parallel_results = benchmark.pedantic(
+        lambda: run("process", 2), iterations=1, rounds=1
+    )
+    serial_results = run("serial", 1)
+    a = [json.dumps(r.to_dict(), sort_keys=True) for r in parallel_results]
+    b = [json.dumps(r.to_dict(), sort_keys=True) for r in serial_results]
+    assert a == b
+    print()
+    print(f"process-pool grid of {len(a)} tasks byte-identical to serial at scale {bench_scale}")

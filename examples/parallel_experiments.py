@@ -2,17 +2,28 @@
 
 Runs a reduced Figure-4-style grid twice:
 
-1. fanned out over four workers with results persisted into a JSON result
-   store, and
-2. again — which resumes from the store and recomputes nothing.
+1. fanned out over ``REPRO_BENCH_WORKERS`` workers (default 4) with results
+   persisted into a JSON result store, and
+2. again — which resumes from the store and recomputes nothing (the script
+   exits non-zero if any task was re-run, so CI can assert resume-skip).
+
+The database ships to workers as a :class:`DatabaseSpec` when the executor is
+a process pool (``REPRO_BENCH_EXECUTOR=process``): each worker rebuilds or
+reuses the database from its per-process registry instead of unpickling the
+table data per task.
 
 Usage::
 
     PYTHONPATH=src python examples/parallel_experiments.py [store_dir]
+
+Environment: ``REPRO_BENCH_WORKERS``, ``REPRO_BENCH_EXECUTOR``
+(``thread``/``process``/``serial``), ``REPRO_BENCH_STORE`` (used when no
+``store_dir`` argument is given).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
 import time
@@ -42,32 +53,59 @@ def demo_splits(workload_name: str) -> list[DatasetSplit]:
 
 def main(store_dir: str | None = None) -> None:
     if store_dir is None:
-        store_dir = tempfile.mkdtemp(prefix="repro-results-")
+        store_dir = os.environ.get("REPRO_BENCH_STORE") or tempfile.mkdtemp(
+            prefix="repro-results-"
+        )
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+    executor_kind = os.environ.get("REPRO_BENCH_EXECUTOR", "thread")
     context = job_context(scale=0.25)
     splits = demo_splits(context.workload.name)
     store = ResultStore(store_dir)
     runner = ParallelExperimentRunner(
-        context.database,
+        context.dispatch_source,
         context.workload,
         experiment_config=ExperimentConfig(
             optimizer_kwargs={"bao": {"training_passes": 1}},
             executions_per_query=2,
         ),
-        runtime_config=RuntimeConfig(workers=4),
+        runtime_config=RuntimeConfig(workers=workers, executor_kind=executor_kind),
         result_store=store,
     )
+    tasks = runner.tasks_for(METHODS, splits)
+    if executor_kind == "process" and runner.uses_spec_dispatch:
+        import pickle
 
-    print(f"running {len(METHODS) * len(splits)} tasks on 4 workers "
+        payload = len(pickle.dumps(runner.spec_payload(tasks[0])))
+        print(f"spec dispatch active: {payload} bytes pickled per task")
+
+    print(f"running {len(tasks)} tasks on {workers} {executor_kind} workers "
           f"(store: {store_dir}) ...")
     start = time.perf_counter()
-    results = runner.run_grid(METHODS, splits)
+    results = runner.run_tasks(tasks)
     print(f"first sweep: {time.perf_counter() - start:.1f} s")
     print(format_table([r.summary_row() for r in results], title="Sweep results"))
 
+    # Every task must now be resumable from disk, whichever process wrote it.
+    pending = [
+        task for task in tasks
+        if not store.exists(runner.task_key(task), runner.task_fingerprint(task))
+    ]
+    assert not pending, f"store is missing {len(pending)} completed tasks"
+    # Recompute detection must not rely on result values (deterministic timing
+    # makes a re-run byte-identical) or file counts (a recompute overwrites
+    # the same path): snapshot the stored files' write times instead.
+    files_before = {path: path.stat().st_mtime_ns for path in store.completed_files()}
+    assert len(files_before) == len(tasks)
+
     start = time.perf_counter()
-    runner.run_grid(METHODS, splits)
-    print(f"second sweep (resumed from store): {time.perf_counter() - start:.3f} s, "
-          f"{store.loaded_count} tasks loaded instead of re-run")
+    rerun = runner.run_tasks(tasks)
+    print(f"second sweep (resumed from store): {time.perf_counter() - start:.3f} s")
+    files_after = {path: path.stat().st_mtime_ns for path in store.completed_files()}
+    assert files_after == files_before, "resume recomputed and re-wrote result files"
+    assert [r.to_dict() for r in rerun] == [r.to_dict() for r in results], (
+        "resumed results differ from the first sweep"
+    )
+    print(f"resume-skip verified: {len(tasks)} tasks served from the store")
     print()
     print(store_report(store, title="Report regenerated from the store alone"))
 

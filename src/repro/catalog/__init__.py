@@ -11,6 +11,11 @@ Two concrete schemas are provided:
   Benchmark, with a synthetic, skewed, foreign-key-consistent data generator.
 * :mod:`repro.catalog.stack` — a StackExchange-style schema used by the STACK
   workload.
+
+Every generator is also registered in :mod:`repro.catalog.factories`, which
+lets a :class:`~repro.storage.spec.DatabaseSpec` (generator id + scale + seed
++ configuration) rebuild the database deterministically in any process — the
+basis of the runtime's spec-based dispatch.
 """
 
 from repro.catalog.schema import (
@@ -23,6 +28,25 @@ from repro.catalog.schema import (
 )
 from repro.catalog.statistics import ColumnStatistics, TableStatistics, analyze_table
 
+_FACTORY_EXPORTS = (
+    "build_from_spec",
+    "database_factory",
+    "register_database_factory",
+    "registered_generators",
+)
+
+
+def __getattr__(name: str):
+    # The factory registry is exported lazily: importing it eagerly would
+    # close an import cycle (storage.table_data -> catalog.schema -> this
+    # package -> factories -> imdb -> storage.database -> storage.table_data).
+    if name in _FACTORY_EXPORTS:
+        from repro.catalog import factories
+
+        return getattr(factories, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Column",
     "ColumnType",
@@ -33,4 +57,8 @@ __all__ = [
     "ColumnStatistics",
     "TableStatistics",
     "analyze_table",
+    "build_from_spec",
+    "database_factory",
+    "register_database_factory",
+    "registered_generators",
 ]

@@ -17,11 +17,15 @@ are bit-for-bit reproducible.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.catalog.statistics import NULL_SENTINEL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import PostgresConfig
+    from repro.storage.database import Database
 
 
 def zipf_weights(n: int, skew: float = 1.1) -> np.ndarray:
@@ -199,3 +203,77 @@ def pooled_name_dictionary(prefix: str, n: int, pools: Sequence[str]) -> list[st
         token = pools[i % len(pools)] if pools else ""
         out.append(f"{prefix} {token} {i:05d}")
     return out
+
+
+# ---------------------------------------------------------------------------
+# A minimal self-contained star schema built from the primitives above.
+# ---------------------------------------------------------------------------
+
+#: Category labels of the synthetic dimension table.
+SYNTHETIC_CATEGORIES = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+def generate_synthetic(
+    scale: float = 1.0,
+    seed: int = 0,
+    config: "PostgresConfig | None" = None,
+    fanout: float = 8.0,
+    null_frac: float = 0.02,
+) -> "Database":
+    """Generate a small star-schema database (one dimension, one fact table).
+
+    Unlike the IMDB/STACK generators this schema carries no workload; it
+    exists to exercise storage, registry and dispatch machinery at arbitrary
+    scales without the cost of a 21-table build.  ``scale`` = 1.0 produces
+    roughly 500 dimension rows and ``500 * fanout`` fact rows.
+    """
+    from repro.catalog.schema import Column, ColumnType, ForeignKey, Schema, Table
+    from repro.storage.database import Database
+    from repro.storage.table_data import TableData
+
+    rng = np.random.default_rng(seed)
+    n_dim = max(20, int(500 * scale))
+    n_fact = max(50, int(n_dim * max(fanout, 1.0)))
+
+    dim_table = Table("dim", [
+        Column("id", ColumnType.INTEGER),
+        Column("category", ColumnType.INTEGER),
+        Column("label", ColumnType.TEXT),
+    ])
+    fact_table = Table("fact", [
+        Column("id", ColumnType.INTEGER),
+        Column("dim_id", ColumnType.INTEGER),
+        Column("value", ColumnType.INTEGER),
+        Column("year", ColumnType.INTEGER),
+    ])
+    schema = Schema(
+        "synthetic",
+        [dim_table, fact_table],
+        foreign_keys=[ForeignKey("fact", "dim_id", "dim", "id")],
+    )
+    schema.table("fact").add_index("dim_id")
+    schema.table("fact").add_index("year")
+
+    dim_ids = primary_keys(n_dim)
+    labels = pooled_name_dictionary("dim", n_dim, SYNTHETIC_CATEGORIES)
+    tables = {
+        "dim": TableData(
+            table=dim_table,
+            columns={
+                "id": dim_ids,
+                "category": categorical_column(rng, len(SYNTHETIC_CATEGORIES), n_dim),
+                "label": np.arange(n_dim, dtype=np.int64),
+            },
+            dictionaries={"label": labels},
+        ),
+        "fact": TableData(
+            table=fact_table,
+            columns={
+                "id": primary_keys(n_fact),
+                "dim_id": foreign_keys(rng, dim_ids, n_fact, null_frac=null_frac),
+                "value": numeric_column(rng, n_fact, skew=1.0, null_frac=null_frac),
+                "year": year_column(rng, n_fact),
+            },
+        ),
+    }
+    return Database(schema=schema, tables=tables, config=config, name="synthetic")

@@ -16,7 +16,7 @@ which is exactly where interesting optimizer mistakes come from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

@@ -15,7 +15,7 @@ the table can be regenerated programmatically (see
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Any, Iterator, Mapping
 
 KB = 1024

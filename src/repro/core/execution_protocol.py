@@ -10,7 +10,7 @@ robustness study that justifies it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,6 +21,8 @@ from repro.plans.hints import NO_HINTS, HintSet
 from repro.plans.physical import PlanNode
 from repro.sql.binder import BoundQuery
 from repro.storage.database import Database
+from repro.storage.registry import resolve_database
+from repro.storage.spec import DatabaseSpec
 from repro.workloads.workload import BenchmarkQuery, Workload
 
 #: The paper's recommended number of repeated executions.
@@ -67,7 +69,7 @@ class ExecutionProtocol:
 
     def __init__(
         self,
-        database: Database,
+        database: "Database | DatabaseSpec",
         planner: Planner | None = None,
         engine: ExecutionEngine | None = None,
         executions_per_query: int = DEFAULT_EXECUTIONS,
@@ -75,6 +77,7 @@ class ExecutionProtocol:
     ) -> None:
         if executions_per_query < 1:
             raise ExperimentError("executions_per_query must be at least 1")
+        database = resolve_database(database)
         self.database = database
         self.planner = planner or Planner(database)
         self.engine = engine or ExecutionEngine(database, self.planner.config)

@@ -15,7 +15,7 @@ every (method, split) combination it
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 from repro.config import PostgresConfig
 from repro.core.metrics import MethodRunResult, QueryTiming
@@ -27,6 +27,8 @@ from repro.runtime.fingerprint import stable_hash
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.result_store import ResultStore, TaskKey
 from repro.storage.database import Database
+from repro.storage.registry import resolve_database
+from repro.storage.spec import DatabaseSpec
 from repro.workloads.workload import BenchmarkQuery, Workload
 
 #: Timeout applied to evaluation executions (milliseconds); generous enough
@@ -77,13 +79,17 @@ class ExperimentRunner:
 
     def __init__(
         self,
-        database: Database,
+        database: Union[Database, DatabaseSpec],
         workload: Workload,
         config: PostgresConfig | None = None,
         experiment_config: ExperimentConfig | None = None,
         result_store: ResultStore | None = None,
         plan_cache: PlanCache | None = None,
     ) -> None:
+        # A DatabaseSpec is accepted everywhere a Database is: it materializes
+        # through the per-process registry, so repeated runners over the same
+        # recipe share one build.
+        database = resolve_database(database)
         if workload.schema.name != database.schema.name:
             raise ExperimentError(
                 "workload and database use different schemas "
@@ -115,12 +121,25 @@ class ExperimentRunner:
         )
 
     def context_fingerprint(self) -> str:
-        """Fingerprint binding stored results to this exact setup."""
+        """Fingerprint binding stored results to this exact setup.
+
+        The database participates through its spec fingerprint when it has
+        one: the name alone ("imdb") is identical at every scale and data
+        seed, and a persistent store shared across multi-scale sweeps must
+        never serve a small-scale result as a large-scale one.  Spec-less
+        (hand-built) databases fall back to the name, as before.
+        """
+        database_identity = (
+            self.database.spec.fingerprint()
+            if self.database.spec is not None
+            else self.database.name
+        )
         return stable_hash(
             "|".join(
                 (
                     self.workload.name,
                     self.database.name,
+                    database_identity,
                     self.db_config.fingerprint(),
                     self.config.fingerprint(),
                 )

@@ -10,7 +10,7 @@ by the LQO implementations to assemble their feature pipelines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import EncodingError
 

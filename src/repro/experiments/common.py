@@ -1,22 +1,25 @@
 """Shared context construction for the experiment drivers.
 
-Building the synthetic databases and binding the workloads takes a couple of
-hundred milliseconds; the experiments and benchmark harness share the results
-through this module's memoized constructors.  The default scale keeps a full
-figure-4-style run in the minutes range; pass a larger ``scale`` (or set the
-``REPRO_SCALE`` environment variable) for bigger databases.
+Contexts are built *spec-first*: every driver database is addressed by a
+:class:`~repro.storage.spec.DatabaseSpec` (generator id + scale + seed +
+configuration) and materialized through the per-process
+:class:`~repro.storage.registry.DatabaseRegistry`, which memoizes the build.
+Drivers therefore share one instance per recipe within a process, and the
+parallel runtime can ship the spec — not the data — when fanning tasks out to
+worker processes.  The default scale keeps a full figure-4-style run in the
+minutes range; pass a larger ``scale`` (or set the ``REPRO_SCALE`` environment
+variable) for bigger databases.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from functools import lru_cache
 
-from repro.catalog.imdb import generate_imdb, generate_imdb_half
-from repro.catalog.stack import generate_stack
 from repro.config import SIMULATION_CONFIG, PostgresConfig
 from repro.storage.database import Database
+from repro.storage.registry import get_process_registry
+from repro.storage.spec import DatabaseSpec
 from repro.workloads import build_ext_job_workload, build_job_workload, build_stack_workload
 from repro.workloads.workload import Workload
 
@@ -26,49 +29,84 @@ DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 
 @dataclass
 class BenchmarkContext:
-    """A database plus its bound workload."""
+    """A database plus its bound workload (and the database's build recipe)."""
 
     database: Database
     workload: Workload
+    spec: DatabaseSpec | None = None
 
     @property
     def schema_name(self) -> str:
         return self.database.schema.name
 
+    @property
+    def dispatch_source(self) -> Database | DatabaseSpec:
+        """What to hand the experiment runners: the spec when one exists."""
+        return self.spec if self.spec is not None else self.database
 
-@lru_cache(maxsize=8)
-def _imdb(scale: float, seed: int) -> Database:
-    return generate_imdb(scale=scale, seed=seed, config=SIMULATION_CONFIG)
+
+def job_spec(scale: float | None = None, seed: int = 42) -> DatabaseSpec:
+    """Spec of the synthetic IMDB instance the JOB drivers run on."""
+    return DatabaseSpec.create(
+        "imdb",
+        scale=scale if scale is not None else DEFAULT_SCALE,
+        seed=seed,
+        config=SIMULATION_CONFIG,
+    )
 
 
-@lru_cache(maxsize=4)
-def _stack(scale: float, seed: int) -> Database:
-    return generate_stack(scale=scale, seed=seed, config=SIMULATION_CONFIG)
+def stack_spec(scale: float | None = None, seed: int = 1337) -> DatabaseSpec:
+    """Spec of the synthetic StackExchange instance."""
+    return DatabaseSpec.create(
+        "stack",
+        scale=scale if scale is not None else DEFAULT_SCALE,
+        seed=seed,
+        config=SIMULATION_CONFIG,
+    )
+
+
+def imdb_half_spec(scale: float | None = None, seed: int = 42) -> DatabaseSpec:
+    """Spec of IMDB-50% (title Bernoulli-sampled, cascaded) for Section 8.3."""
+    return DatabaseSpec.create(
+        "imdb-half",
+        scale=scale if scale is not None else DEFAULT_SCALE,
+        seed=seed,
+        config=SIMULATION_CONFIG,
+        title_fraction=0.5,
+        sample_seed=7,
+    )
 
 
 def job_context(scale: float | None = None, seed: int = 42) -> BenchmarkContext:
     """Synthetic IMDB plus the 113-query JOB-style workload."""
-    database = _imdb(scale if scale is not None else DEFAULT_SCALE, seed)
-    return BenchmarkContext(database=database, workload=build_job_workload(database.schema))
+    spec = job_spec(scale, seed)
+    database = get_process_registry().get(spec)
+    return BenchmarkContext(
+        database=database, workload=build_job_workload(database.schema), spec=spec
+    )
 
 
 def stack_context(scale: float | None = None, seed: int = 1337) -> BenchmarkContext:
     """Synthetic StackExchange plus the down-sampled STACK workload."""
-    database = _stack(scale if scale is not None else DEFAULT_SCALE, seed)
-    return BenchmarkContext(database=database, workload=build_stack_workload(database.schema))
+    spec = stack_spec(scale, seed)
+    database = get_process_registry().get(spec)
+    return BenchmarkContext(
+        database=database, workload=build_stack_workload(database.schema), spec=spec
+    )
 
 
 def ext_job_context(scale: float | None = None, seed: int = 42) -> BenchmarkContext:
     """Synthetic IMDB plus the Ext-JOB-style workload (GROUP BY / ORDER BY)."""
-    database = _imdb(scale if scale is not None else DEFAULT_SCALE, seed)
-    return BenchmarkContext(database=database, workload=build_ext_job_workload(database.schema))
+    spec = job_spec(scale, seed)
+    database = get_process_registry().get(spec)
+    return BenchmarkContext(
+        database=database, workload=build_ext_job_workload(database.schema), spec=spec
+    )
 
 
 def imdb_half_database(scale: float | None = None, seed: int = 42) -> Database:
     """IMDB-50% for the covariate-shift study (title Bernoulli-sampled at 50%)."""
-    return generate_imdb_half(
-        scale=scale if scale is not None else DEFAULT_SCALE, seed=seed, config=SIMULATION_CONFIG
-    )
+    return get_process_registry().get(imdb_half_spec(scale, seed))
 
 
 def framework_config() -> PostgresConfig:

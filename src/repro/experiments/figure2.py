@@ -33,7 +33,7 @@ def run(scale: float | None = None, query_ids: list[str] | None = None) -> Figur
     """Execute the JOB workload with PostgreSQL and collect (joins, time) points."""
     context = job_context(scale)
     runner = ExperimentRunner(
-        context.database,
+        context.dispatch_source,
         context.workload,
         experiment_config=ExperimentConfig(executions_per_query=3),
     )

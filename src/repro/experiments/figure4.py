@@ -79,10 +79,13 @@ def run_for_context(
     timing, shared environment seed) is used.  With a ``result_store``,
     completed runs are resumed from disk instead of recomputed.
     """
+    # Runners receive the context's dispatch source — the DatabaseSpec when
+    # the database came out of the catalog factories — so process-pool fan-out
+    # ships the recipe instead of pickling the table data per task.
     runner: ExperimentRunner | ParallelExperimentRunner
     if runtime_config is not None:
         runner = ParallelExperimentRunner(
-            context.database,
+            context.dispatch_source,
             context.workload,
             experiment_config=experiment_config or ExperimentConfig(),
             runtime_config=runtime_config,
@@ -90,7 +93,7 @@ def run_for_context(
         )
     else:
         runner = ExperimentRunner(
-            context.database,
+            context.dispatch_source,
             context.workload,
             experiment_config=experiment_config or ExperimentConfig(),
             result_store=result_store,

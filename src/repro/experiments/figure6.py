@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.metrics import MethodRunResult
 from repro.core.report import format_table
 from repro.core.stats import linear_regression_r2
 from repro.experiments.figure4 import EndToEndResult

@@ -36,7 +36,7 @@ def run(
 ) -> Figure7Result:
     """Run the robustness study over (a subset of) the JOB workload."""
     context = job_context(scale)
-    protocol = ExecutionProtocol(context.database)
+    protocol = ExecutionProtocol(context.dispatch_source)
     measurements = protocol.robustness_study(
         context.workload, executions=executions, query_ids=query_ids
     )

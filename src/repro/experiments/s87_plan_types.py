@@ -13,8 +13,6 @@ plans from an LQO's search space lowers its chance of finding the best plan.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.ablations import PlanShapeStudyResult, plan_shape_analysis
 from repro.core.report import format_key_values, format_table
 from repro.experiments.common import job_context

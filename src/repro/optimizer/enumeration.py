@@ -22,7 +22,7 @@ import networkx as nx
 from repro.errors import OptimizerError
 from repro.optimizer.cost_model import CostModel
 from repro.plans.hints import HintSet, NO_HINTS
-from repro.plans.physical import JoinNode, PlanNode, ScanNode
+from repro.plans.physical import JoinNode, PlanNode
 from repro.sql.binder import BoundQuery
 
 
@@ -216,9 +216,10 @@ def enumerate_join_trees(
             yield scans[alias]
             return
         members = sorted(subset)
-        anchor = members[0]
+        # Enumerate unordered splits by always keeping the first (anchor)
+        # member on the left: only subsets of the remaining members may move
+        # to the right side.
         rest = members[1:]
-        # Enumerate unordered splits by always keeping the anchor on the left.
         for r in range(0, len(rest) + 1):
             for right_members in combinations(rest, r):
                 right_set = frozenset(right_members)

@@ -31,7 +31,7 @@ def __getattr__(name: str):
     # The parallel runner is exported lazily: importing it eagerly would close
     # an import cycle (planner -> plan_cache -> this package -> parallel ->
     # core.experiment -> lqo.base -> planner).
-    if name in ("ExperimentTask", "ParallelExperimentRunner"):
+    if name in ("ExperimentTask", "ParallelExperimentRunner", "SpecTaskPayload"):
         from repro.runtime import parallel
 
         return getattr(parallel, name)
@@ -41,6 +41,7 @@ __all__ = [
     "CacheStats",
     "ExperimentTask",
     "ParallelExperimentRunner",
+    "SpecTaskPayload",
     "PlanCache",
     "ResultStore",
     "TaskKey",

@@ -19,6 +19,15 @@ results to serial execution:
   were already simulated).  Nothing in a task result depends on the wall
   clock, so thread interleaving cannot perturb it.
 
+* **Spec-based dispatch** — when the database is addressable by a
+  :class:`~repro.storage.spec.DatabaseSpec` (it was built through the catalog
+  factories, or a spec was passed directly) and the workload is rebuildable by
+  name, process-pool tasks ship only a :class:`SpecTaskPayload` of a few
+  hundred bytes.  The worker rebuilds — or, via its per-process
+  :class:`~repro.storage.registry.DatabaseRegistry`, reuses — the database
+  deterministically, so dispatch cost no longer grows with database scale.
+  Databases without a spec fall back to legacy whole-database pickling.
+
 With a :class:`~repro.runtime.result_store.ResultStore` attached the grid is
 resumable: completed tasks are skipped (PostBOUND-style ``skip_existing``) and
 fresh results are persisted as they arrive.
@@ -26,8 +35,10 @@ fresh results are persisted as they arrive.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from typing import Union
 
 from repro.config import PostgresConfig, RuntimeConfig
 from repro.core.experiment import ExperimentConfig, ExperimentRunner
@@ -38,6 +49,9 @@ from repro.runtime.fingerprint import stable_seed
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.result_store import ResultStore, TaskKey
 from repro.storage.database import Database
+from repro.storage.registry import get_process_registry, resolve_database
+from repro.storage.spec import DatabaseSpec
+from repro.workloads import build_workload, is_registered_workload
 from repro.workloads.workload import Workload
 
 
@@ -63,21 +77,109 @@ class ExperimentTask:
         return f"{self.method} on {self.split.name} (repeat {self.repeat})"
 
 
+@dataclass(frozen=True)
+class SpecTaskPayload:
+    """Everything a worker process needs to run one grid cell, spec-sized.
+
+    The payload replaces the legacy pickle of the whole runner (database
+    included): it names the database recipe and the workload, both of which
+    the worker rebuilds deterministically.  Its pickled size is a few hundred
+    bytes regardless of database scale.
+    """
+
+    spec: DatabaseSpec
+    workload_name: str
+    workload_fingerprint: str
+    db_config: PostgresConfig
+    experiment_config: ExperimentConfig
+    plan_cache_entries: int
+    store_root: str | None
+    skip_existing: bool
+    task: ExperimentTask
+
+
+#: Per-process memo of worker-rebuilt workloads, keyed by (workload name,
+#: database-spec fingerprint): an N-task grid rebinds the workload once per
+#: worker process instead of once per task, mirroring the database registry.
+_WORKER_WORKLOADS: dict[tuple[str, str], Workload] = {}
+_WORKER_WORKLOADS_LOCK = threading.Lock()
+_WORKER_WORKLOADS_MAX = 32
+
+
+def _worker_workload(payload: SpecTaskPayload, database: Database) -> Workload:
+    """Rebuild (or reuse) and validate the payload's workload in this process."""
+    key = (payload.workload_name, payload.spec.fingerprint())
+    with _WORKER_WORKLOADS_LOCK:
+        workload = _WORKER_WORKLOADS.get(key)
+    if workload is None:
+        workload = build_workload(payload.workload_name, database.schema)
+        with _WORKER_WORKLOADS_LOCK:
+            if len(_WORKER_WORKLOADS) >= _WORKER_WORKLOADS_MAX:
+                _WORKER_WORKLOADS.clear()
+            workload = _WORKER_WORKLOADS.setdefault(key, workload)
+    if workload.fingerprint() != payload.workload_fingerprint:
+        # The caller's workload shares a registered name but different
+        # content (e.g. a hand-built subset named "job"): refusing here keeps
+        # process-pool results from silently diverging from serial/thread
+        # execution, which uses the caller's instance.
+        raise ExperimentError(
+            f"worker rebuild of workload {payload.workload_name!r} does not match the "
+            "dispatched workload (content fingerprint mismatch); pass the canonically "
+            "built workload, register the custom one under its own name, or use the "
+            "thread executor"
+        )
+    return workload
+
+
+def _run_spec_task(payload: SpecTaskPayload) -> MethodRunResult:
+    """Worker-side entry point of spec-based dispatch (module level: picklable).
+
+    The database comes out of the worker's process registry — built once on
+    the first task, reused by every later task of the same spec (and, under a
+    forking start method, inherited from the parent without any rebuild).
+    The workload is likewise rebuilt once per process and reused.
+    """
+    database = get_process_registry().get(payload.spec)
+    workload = _worker_workload(payload, database)
+    store = (
+        ResultStore(payload.store_root, skip_existing=payload.skip_existing)
+        if payload.store_root is not None
+        else None
+    )
+    runner = ParallelExperimentRunner(
+        database,
+        workload,
+        config=payload.db_config,
+        experiment_config=payload.experiment_config,
+        runtime_config=RuntimeConfig(
+            workers=1,
+            executor_kind="serial",
+            plan_cache_entries=payload.plan_cache_entries,
+        ),
+        result_store=store,
+    )
+    return runner._run_or_resume(payload.task)
+
+
 class ParallelExperimentRunner:
     """Runs the experiment grid concurrently with serial-identical results."""
 
     def __init__(
         self,
-        database: Database,
+        database: Union[Database, DatabaseSpec],
         workload: Workload,
         config: PostgresConfig | None = None,
         experiment_config: ExperimentConfig | None = None,
         runtime_config: RuntimeConfig | None = None,
         result_store: ResultStore | None = None,
     ) -> None:
-        self.database = database
+        #: The dispatchable recipe: either the spec passed in, or the one the
+        #: database carries from its factory build.  ``None`` means the
+        #: database cannot be rebuilt remotely (legacy pickling applies).
+        self.database_spec = database if isinstance(database, DatabaseSpec) else database.spec
+        self.database = resolve_database(database)
         self.workload = workload
-        self.db_config = config or database.config
+        self.db_config = config or self.database.config
         base = experiment_config or ExperimentConfig()
         # Deterministic timing is not optional here: without it, per-task
         # results would embed scheduling-dependent wall clocks and the
@@ -177,13 +279,50 @@ class ParallelExperimentRunner:
         tasks = self.tasks_for(methods, splits, repeats)
         return self.run_tasks(tasks)
 
+    # ------------------------------------------------------------------ spec dispatch
+    @property
+    def uses_spec_dispatch(self) -> bool:
+        """Whether process-pool tasks ship specs instead of pickled databases.
+
+        Requires a database spec (factory-built database or spec passed to the
+        constructor) and a workload rebuildable by name in the worker.
+        """
+        return self.database_spec is not None and is_registered_workload(self.workload.name)
+
+    def spec_payload(self, task: ExperimentTask) -> SpecTaskPayload:
+        """The scale-independent dispatch payload of one grid cell."""
+        if not self.uses_spec_dispatch:
+            raise ExperimentError(
+                "spec dispatch unavailable: the database carries no DatabaseSpec "
+                "or the workload is not registered for rebuilding"
+            )
+        store_root = str(self.result_store.root) if self.result_store is not None else None
+        return SpecTaskPayload(
+            spec=self.database_spec,
+            workload_name=self.workload.name,
+            workload_fingerprint=self.workload.fingerprint(),
+            db_config=self.db_config,
+            experiment_config=self.experiment_config,
+            plan_cache_entries=self.runtime_config.plan_cache_entries,
+            store_root=store_root,
+            skip_existing=self.result_store.skip_existing if self.result_store else True,
+            task=task,
+        )
+
     def run_tasks(self, tasks: list[ExperimentTask]) -> list[MethodRunResult]:
         workers = min(self.runtime_config.workers, max(len(tasks), 1))
         kind = self.runtime_config.executor_kind
         if workers <= 1 or kind == "serial" or len(tasks) <= 1:
             return [self._run_or_resume(task) for task in tasks]
         with self._make_executor(kind, workers) as pool:
-            futures = [pool.submit(self._run_or_resume, task) for task in tasks]
+            if kind == "process" and self.uses_spec_dispatch:
+                # Ship the spec, not the database: per-task pickling cost is
+                # constant in database scale.  Note that store bookkeeping
+                # (loaded/stored counters) then happens in the workers; the
+                # parent-side ResultStore counters only reflect parent loads.
+                futures = [pool.submit(_run_spec_task, self.spec_payload(task)) for task in tasks]
+            else:
+                futures = [pool.submit(self._run_or_resume, task) for task in tasks]
             return [future.result() for future in futures]
 
     @staticmethod

@@ -9,7 +9,7 @@ boolean expression tree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Union
 
 
 @dataclass(frozen=True)

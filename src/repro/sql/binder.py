@@ -10,7 +10,7 @@ and all query encoders consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import networkx as nx
 

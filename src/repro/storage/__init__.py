@@ -5,12 +5,25 @@ The storage layer keeps every table as dictionary-encoded numpy columns
 index nested-loop joins, and models a page-level buffer pool
 (:class:`BufferPool`) whose hit/miss behaviour drives the cold-vs-hot cache
 latency effects studied in Sections 3.3.2, 7.3 and 8.6 of the paper.
+
+Databases themselves are addressable by *recipe*: a :class:`DatabaseSpec`
+(generator id + scale + seed + configuration) deterministically rebuilds an
+instance, and the per-process :class:`DatabaseRegistry` memoizes those builds
+so spec-based dispatch across worker processes never re-pickles table data.
 """
 
 from repro.storage.table_data import TableData
 from repro.storage.buffer_pool import BufferPool, BufferPoolStats
 from repro.storage.index import OrderedIndex
 from repro.storage.database import Database
+from repro.storage.spec import DatabaseSpec
+from repro.storage.registry import (
+    DatabaseRegistry,
+    RegistryStats,
+    get_process_registry,
+    reset_process_registry,
+    resolve_database,
+)
 
 __all__ = [
     "TableData",
@@ -18,4 +31,10 @@ __all__ = [
     "BufferPoolStats",
     "OrderedIndex",
     "Database",
+    "DatabaseSpec",
+    "DatabaseRegistry",
+    "RegistryStats",
+    "get_process_registry",
+    "reset_process_registry",
+    "resolve_database",
 ]

@@ -11,7 +11,7 @@ timing model converts into simulated milliseconds.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

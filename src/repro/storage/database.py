@@ -7,7 +7,7 @@ buffer pool, the covariate-shift experiment derives a down-sampled copy of it.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro.errors import CatalogError, StorageError
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.index import OrderedIndex
 from repro.storage.table_data import TableData
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.spec import DatabaseSpec
 
 
 class Database:
@@ -33,6 +36,11 @@ class Database:
         self.schema = schema
         self.name = name or schema.name
         self.config = config or SIMULATION_CONFIG
+        #: The spec this instance was built from, when it came out of a
+        #: registered factory (see :mod:`repro.catalog.factories`).  Carrying
+        #: it lets the runtime ship the spec instead of the database when
+        #: fanning tasks out to worker processes.
+        self.spec: "DatabaseSpec | None" = None
         self._tables: dict[str, TableData] = {}
         for tname, data in tables.items():
             if not schema.has_table(tname):
@@ -108,6 +116,7 @@ class Database:
         clone.schema = self.schema
         clone.name = self.name
         clone.config = config
+        clone.spec = self.spec.with_config(config) if self.spec is not None else None
         clone._tables = self._tables
         clone._indexes = self._indexes
         clone._statistics = dict(self._statistics)

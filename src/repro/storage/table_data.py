@@ -16,7 +16,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.catalog.schema import ColumnType, Table
+from repro.catalog.schema import Table
 from repro.catalog.statistics import NULL_SENTINEL
 from repro.config import PAGE_SIZE_BYTES
 from repro.errors import StorageError

@@ -5,12 +5,60 @@ objects, each tagged with the base-query family it was generated from.  The
 family structure (e.g. JOB's ``1a``/``1b``/``1c``/``1d`` variants of base
 query 1) is what the paper's three dataset-split strategies operate on
 (Section 7.2), so it is a first-class concept here.
+
+Workloads are rebuildable by name: :func:`build_workload` maps a registered
+workload id (``"job"``, ``"stack"``, ``"ext_job"``) plus a schema back to the
+bound workload.  The parallel runtime uses this to ship only the workload
+*name* to worker processes — the worker rebinds the queries against the
+schema of its spec-rebuilt database instead of unpickling hundreds of bound
+query objects.
 """
 
+from typing import Callable
+
+from repro.catalog.schema import Schema
+from repro.errors import WorkloadError
 from repro.workloads.workload import BenchmarkQuery, Workload
 from repro.workloads.job import build_job_workload, JOB_FAMILY_SIZES
 from repro.workloads.stack import build_stack_workload
 from repro.workloads.ext_job import build_ext_job_workload
+
+#: Registered workload builders: workload name -> ``builder(schema)``.
+_WORKLOAD_FACTORIES: dict[str, Callable[[Schema], Workload]] = {
+    "job": build_job_workload,
+    "stack": build_stack_workload,
+    "ext_job": build_ext_job_workload,
+}
+
+
+def register_workload_factory(
+    name: str, builder: Callable[[Schema], Workload], overwrite: bool = False
+) -> None:
+    """Register a workload builder under ``name`` (its ``Workload.name``)."""
+    if not overwrite and name in _WORKLOAD_FACTORIES:
+        raise WorkloadError(f"workload factory {name!r} is already registered")
+    _WORKLOAD_FACTORIES[name] = builder
+
+
+def registered_workloads() -> list[str]:
+    """Sorted names of every registered workload builder."""
+    return sorted(_WORKLOAD_FACTORIES)
+
+
+def build_workload(name: str, schema: Schema) -> Workload:
+    """Rebuild the workload registered under ``name`` against ``schema``."""
+    try:
+        builder = _WORKLOAD_FACTORIES[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload {name!r}; registered: {registered_workloads()}"
+        ) from exc
+    return builder(schema)
+
+
+def is_registered_workload(name: str) -> bool:
+    return name in _WORKLOAD_FACTORIES
+
 
 __all__ = [
     "BenchmarkQuery",
@@ -19,4 +67,8 @@ __all__ = [
     "JOB_FAMILY_SIZES",
     "build_stack_workload",
     "build_ext_job_workload",
+    "build_workload",
+    "is_registered_workload",
+    "register_workload_factory",
+    "registered_workloads",
 ]

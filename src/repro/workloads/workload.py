@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator
 
 from repro.catalog.schema import Schema
 from repro.errors import WorkloadError
@@ -68,6 +69,25 @@ class Workload:
             raise WorkloadError(
                 f"workload {self.name!r} has no query {query_id!r}"
             ) from exc
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint: name plus every (id, family, SQL) triple.
+
+        Used by spec-based dispatch to verify that a worker's by-name rebuild
+        of the workload matches the workload the grid was launched with; a
+        hand-modified workload sharing a registered name fingerprints
+        differently and is rejected instead of silently replaced.  Memoized:
+        the query list is fixed at construction.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        for query in self._queries:
+            digest.update(f"|{query.query_id}|{query.family}|{query.sql}".encode("utf-8"))
+        self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
     def families(self) -> dict[str, list[BenchmarkQuery]]:
         """Mapping of family (base-query) id to its variants, in workload order."""

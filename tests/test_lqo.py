@@ -1,6 +1,5 @@
 """Tests for the learned query optimizers and the registry."""
 
-import numpy as np
 import pytest
 
 from repro.lqo import available_methods, create_optimizer, method_info

@@ -2,7 +2,6 @@
 
 from random import Random
 
-import numpy as np
 import pytest
 
 from repro.config import SIMULATION_CONFIG

@@ -13,16 +13,14 @@ from repro.errors import ExperimentError
 from repro.optimizer.planner import Planner
 from repro.plans.hints import HintSet, OperatorToggles
 from repro.plans.physical import JoinType
-from repro.runtime.fingerprint import (
-    config_fingerprint,
-    hints_fingerprint,
-    query_fingerprint,
-    stable_seed,
-)
-from repro.runtime.parallel import ExperimentTask, ParallelExperimentRunner
+from repro.runtime.fingerprint import query_fingerprint, stable_seed
+from repro.runtime.parallel import ParallelExperimentRunner
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.result_store import ResultStore, TaskKey
 from repro.sql.binder import bind_sql
+from repro.storage.registry import get_process_registry
+from repro.storage.spec import DatabaseSpec
+from repro.workloads import build_workload
 
 THREE_WAY = (
     "SELECT COUNT(*) FROM title AS t, movie_keyword AS mk, keyword AS k "
@@ -465,13 +463,15 @@ class TestParallelRunner:
             runtime_config=RuntimeConfig(workers=4),
             result_store=store,
         )
-        executed = []
-        real_run_task = second.run_task
+        # Recompute goes through ExperimentRunner._run_method_uncached (the
+        # store's load_or_run thunk); run_task is never on the store path, so
+        # patch the method every recompute must traverse.
         monkeypatch.setattr(
-            second, "run_task", lambda task: executed.append(task) or real_run_task(task)
+            ExperimentRunner,
+            "_run_method_uncached",
+            lambda *args, **kwargs: pytest.fail("resume should skip recomputation"),
         )
         resumed = [run_result_as_json(r) for r in second.run_grid(GRID_METHODS, grid_splits)]
-        assert executed == []  # everything came from the store
         assert resumed == original
 
     def test_partial_resume_runs_only_missing_tasks(
@@ -506,6 +506,88 @@ class TestParallelRunner:
         assert runner.result_store is not None
         runner.run_grid(("postgres",), grid_splits[:1])
         assert runner.result_store.stored_count == 1
+
+
+def _spec_grid_parts(scale: float):
+    """A spec-built database, rebound workload and tiny split at ``scale``."""
+    spec = DatabaseSpec.create("imdb", scale=scale, seed=7, config=SIMULATION_CONFIG)
+    database = get_process_registry().get(spec)
+    workload = build_workload("job", database.schema)
+    split = DatasetSplit(
+        workload_name=workload.name,
+        sampling=SplitSampling.RANDOM,
+        split_index=0,
+        train_ids=("1a", "2a", "3a"),
+        test_ids=("1b", "2b"),
+    )
+    return spec, workload, split
+
+
+class TestSpecDispatchEquivalence:
+    """Process-pool spec dispatch must stay byte-identical to serial at any scale."""
+
+    @pytest.mark.parametrize("scale", [0.2, 0.4])
+    def test_process_pool_spec_dispatch_identical_to_serial(self, scale):
+        spec, workload, split = _spec_grid_parts(scale)
+        process = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=RuntimeConfig(workers=2, executor_kind="process"),
+        )
+        assert process.uses_spec_dispatch
+        serial = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=RuntimeConfig(workers=1),
+        )
+        a = [run_result_as_json(r) for r in process.run_grid(GRID_METHODS, [split])]
+        b = [run_result_as_json(r) for r in serial.run_grid(GRID_METHODS, [split])]
+        assert a == b
+
+    def test_process_pool_spec_dispatch_resumes_from_store(self, tmp_path, monkeypatch):
+        """Workers persist results; a later sweep over the same store skips them."""
+        spec, workload, split = _spec_grid_parts(0.2)
+        store = ResultStore(tmp_path / "spec-store")
+        first = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=RuntimeConfig(workers=2, executor_kind="process"),
+            result_store=store,
+        )
+        original = [run_result_as_json(r) for r in first.run_grid(GRID_METHODS, [split])]
+        # The workers (not the parent store instance) wrote the files.
+        assert len(list(store.completed_files())) == len(GRID_METHODS)
+
+        second = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=RuntimeConfig(workers=1),
+            result_store=ResultStore(tmp_path / "spec-store"),
+        )
+        monkeypatch.setattr(
+            ExperimentRunner,
+            "_run_method_uncached",
+            lambda *args, **kwargs: pytest.fail("resume should skip execution"),
+        )
+        resumed = [run_result_as_json(r) for r in second.run_grid(GRID_METHODS, [split])]
+        assert resumed == original
+
+    def test_same_store_different_scale_not_resumed(self, tmp_path):
+        """The database name is scale-blind ('imdb' at 0.2 and 0.4); the spec
+        fingerprint in the context keeps small-scale results from being served
+        as large-scale ones out of a shared persistent store."""
+        store = ResultStore(tmp_path / "scale-store")
+        for scale in (0.2, 0.4):
+            spec, workload, split = _spec_grid_parts(scale)
+            runner = ExperimentRunner(
+                spec, workload, experiment_config=GRID_CONFIG, result_store=store
+            )
+            runner.run_method("postgres", split)
+        assert store.loaded_count == 0 and store.stored_count == 2
 
 
 class TestSerialRunnerResume:

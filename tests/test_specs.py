@@ -1,0 +1,371 @@
+"""Tests for spec-based database construction: DatabaseSpec, registry, dispatch."""
+
+import json
+import multiprocessing
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.catalog.datagen import generate_synthetic
+from repro.catalog.factories import (
+    build_from_spec,
+    database_factory,
+    register_database_factory,
+    registered_generators,
+)
+from repro.catalog.imdb import generate_imdb
+from repro.config import SIMULATION_CONFIG, RuntimeConfig
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.splits import DatasetSplit, SplitSampling
+from repro.errors import CatalogError, ExperimentError, StorageError, WorkloadError
+from repro.runtime.parallel import ParallelExperimentRunner, _run_spec_task
+from repro.storage.registry import DatabaseRegistry, get_process_registry, resolve_database
+from repro.storage.spec import DatabaseSpec
+from repro.workloads import build_workload, is_registered_workload, registered_workloads
+
+SYNTH = DatabaseSpec.create("synthetic", scale=0.2, seed=5, config=SIMULATION_CONFIG)
+
+
+def _fingerprint_in_child(spec: DatabaseSpec) -> str:
+    """Module-level so a spawn-started interpreter can import and run it."""
+    return spec.fingerprint()
+
+
+def _build_digest_in_child(spec: DatabaseSpec) -> str:
+    """Fingerprint of the actual table bytes a fresh process builds."""
+    database = spec.build()
+    import hashlib
+
+    digest = hashlib.sha256()
+    for tname in database.table_names():
+        data = database.table_data(tname)
+        for cname in sorted(data.columns):
+            digest.update(cname.encode())
+            digest.update(np.ascontiguousarray(data.column(cname)).tobytes())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# DatabaseSpec value semantics and fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestDatabaseSpec:
+    def test_create_canonicalizes_param_order(self):
+        a = DatabaseSpec.create("imdb-half", title_fraction=0.5, sample_seed=7)
+        b = DatabaseSpec.create("imdb-half", sample_seed=7, title_fraction=0.5)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(StorageError):
+            DatabaseSpec.create("")
+        with pytest.raises(StorageError):
+            DatabaseSpec.create("imdb", scale=0.0)
+        with pytest.raises(StorageError):
+            DatabaseSpec.create("imdb", tables={"a": 1})  # non-scalar param
+
+    def test_equal_specs_equal_fingerprints(self):
+        assert SYNTH.fingerprint() == DatabaseSpec.create(
+            "synthetic", scale=0.2, seed=5, config=SIMULATION_CONFIG
+        ).fingerprint()
+
+    def test_any_field_change_new_fingerprint(self):
+        base = SYNTH
+        variants = [
+            base.with_scale(0.4),
+            base.with_seed(6),
+            base.with_config(None),
+            base.with_config(SIMULATION_CONFIG.with_overrides(work_mem=2 * SIMULATION_CONFIG.work_mem)),
+            DatabaseSpec.create("imdb", scale=0.2, seed=5, config=SIMULATION_CONFIG),
+            DatabaseSpec.create("synthetic", scale=0.2, seed=5, config=SIMULATION_CONFIG, fanout=4.0),
+        ]
+        fingerprints = [base.fingerprint()] + [v.fingerprint() for v in variants]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_fingerprint_stable_across_processes(self):
+        """The digest must not depend on per-process ``hash()`` salting."""
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            child = pool.submit(_fingerprint_in_child, SYNTH).result()
+        assert child == SYNTH.fingerprint()
+
+    def test_pickled_spec_is_tiny(self):
+        assert len(pickle.dumps(SYNTH)) < 10 * 1024
+
+    def test_describe_names_generator_and_scale(self):
+        text = SYNTH.describe()
+        assert "synthetic" in text and "scale=0.2" in text
+
+
+# ---------------------------------------------------------------------------
+# Factories and deterministic rebuilds
+# ---------------------------------------------------------------------------
+
+
+class TestFactories:
+    def test_bundled_generators_registered(self):
+        assert {"imdb", "imdb-half", "stack", "synthetic"} <= set(registered_generators())
+
+    def test_unknown_generator_raises(self):
+        with pytest.raises(CatalogError):
+            database_factory("no-such-db")
+        with pytest.raises(CatalogError):
+            DatabaseSpec.create("no-such-db").build()
+
+    def test_duplicate_registration_rejected_unless_overwritten(self):
+        with pytest.raises(CatalogError):
+            register_database_factory("synthetic", generate_synthetic)
+        register_database_factory("synthetic", generate_synthetic, overwrite=True)
+
+    def test_built_database_carries_its_spec(self):
+        database = build_from_spec(SYNTH)
+        assert database.spec == SYNTH
+        reconfigured = database.with_config(SIMULATION_CONFIG.with_overrides(geqo=False))
+        assert reconfigured.spec is not None
+        assert reconfigured.spec.config.geqo is False
+
+    def test_rebuild_is_deterministic_across_processes(self):
+        """A spawn-started interpreter rebuilds bit-identical table data."""
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            child_digest = pool.submit(_build_digest_in_child, SYNTH).result()
+        assert child_digest == _build_digest_in_child(SYNTH)
+
+    def test_spec_params_forwarded_to_generator(self):
+        narrow = DatabaseSpec.create("synthetic", scale=0.2, seed=5, fanout=2.0).build()
+        wide = DatabaseSpec.create("synthetic", scale=0.2, seed=5, fanout=16.0).build()
+        assert wide.table_data("fact").row_count > narrow.table_data("fact").row_count
+
+
+# ---------------------------------------------------------------------------
+# DatabaseRegistry: memoization, LRU, build-once under concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestDatabaseRegistry:
+    def test_build_once_then_reuse(self):
+        registry = DatabaseRegistry(max_entries=4)
+        first = registry.get(SYNTH)
+        second = registry.get(SYNTH)
+        assert first is second
+        assert registry.stats.builds == 1 and registry.stats.hits == 1
+        assert len(registry) == 1
+
+    def test_distinct_specs_distinct_instances(self):
+        registry = DatabaseRegistry(max_entries=4)
+        a = registry.get(SYNTH)
+        b = registry.get(SYNTH.with_seed(6))
+        assert a is not b
+        assert registry.stats.builds == 2
+
+    def test_lru_eviction(self):
+        registry = DatabaseRegistry(max_entries=2)
+        registry.get(SYNTH)
+        registry.get(SYNTH.with_seed(6))
+        registry.get(SYNTH)  # refresh SYNTH so seed=6 is the LRU entry
+        registry.get(SYNTH.with_seed(7))  # evicts seed=6
+        assert registry.stats.evictions == 1
+        assert registry.contains(SYNTH) and not registry.contains(SYNTH.with_seed(6))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            DatabaseRegistry(max_entries=0)
+
+    def test_concurrent_access_builds_once(self):
+        """Many threads racing on the same spec must trigger exactly one build."""
+        builds: list[int] = []
+        build_lock = threading.Lock()
+
+        def counting_factory(scale, seed, config, **params):
+            with build_lock:
+                builds.append(1)
+            return generate_synthetic(scale=scale, seed=seed, config=config, **params)
+
+        register_database_factory("counting-synthetic", counting_factory, overwrite=True)
+        registry = DatabaseRegistry(max_entries=2)
+        spec = DatabaseSpec.create("counting-synthetic", scale=0.2, seed=1)
+        barrier = threading.Barrier(8)
+        results: list[object] = []
+
+        def worker():
+            barrier.wait()
+            results.append(registry.get(spec))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1
+        assert len({id(db) for db in results}) == 1
+        assert registry.stats.builds == 1 and registry.stats.hits == 7
+
+    def test_concurrent_distinct_specs_build_in_parallel(self):
+        registry = DatabaseRegistry(max_entries=4)
+        specs = [SYNTH.with_seed(seed) for seed in (21, 22, 23)]
+        threads = [threading.Thread(target=registry.get, args=(s,)) for s in specs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.stats.builds == 3 and len(registry) == 3
+
+    def test_resolve_database_passthrough_and_spec(self):
+        database = generate_synthetic(scale=0.2, seed=5)
+        assert resolve_database(database) is database
+        via_spec = resolve_database(SYNTH)
+        assert via_spec.name == "synthetic"
+        assert resolve_database(SYNTH) is via_spec  # process registry memoizes
+        assert get_process_registry().contains(SYNTH)
+
+
+# ---------------------------------------------------------------------------
+# Workload factories (worker-side rebuild by name)
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadFactories:
+    def test_bundled_workloads_registered(self):
+        assert {"job", "stack", "ext_job"} <= set(registered_workloads())
+        assert is_registered_workload("job") and not is_registered_workload("nope")
+
+    def test_build_workload_by_name(self, imdb_db):
+        workload = build_workload("job", imdb_db.schema)
+        assert workload.name == "job" and len(workload) > 0
+
+    def test_unknown_workload_raises(self, imdb_db):
+        with pytest.raises(WorkloadError):
+            build_workload("no-such-workload", imdb_db.schema)
+
+
+# ---------------------------------------------------------------------------
+# Spec dispatch through the experiment runtime
+# ---------------------------------------------------------------------------
+
+
+def _json(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def small_imdb_spec():
+    return DatabaseSpec.create("imdb", scale=0.25, seed=7, config=SIMULATION_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def spec_runner_parts(small_imdb_spec):
+    database = get_process_registry().get(small_imdb_spec)
+    workload = build_workload("job", database.schema)
+    split = DatasetSplit(
+        workload_name=workload.name,
+        sampling=SplitSampling.RANDOM,
+        split_index=0,
+        train_ids=("1a", "2a", "3a"),
+        test_ids=("1b", "2b"),
+    )
+    return database, workload, split
+
+
+class TestSpecDispatch:
+    def test_runner_accepts_spec_and_memoizes(self, small_imdb_spec, spec_runner_parts):
+        database, workload, _ = spec_runner_parts
+        runner = ParallelExperimentRunner(small_imdb_spec, workload)
+        assert runner.database is database  # same registry instance, no rebuild
+        assert runner.uses_spec_dispatch
+
+    def test_experiment_runner_accepts_spec(self, small_imdb_spec, spec_runner_parts):
+        _, workload, split = spec_runner_parts
+        runner = ExperimentRunner(
+            small_imdb_spec,
+            workload,
+            experiment_config=ExperimentConfig(deterministic_timing=True),
+        )
+        result = runner.run_method("postgres", split)
+        assert result.method == "postgres"
+
+    def test_payload_is_scale_independent_and_small(self, small_imdb_spec, spec_runner_parts):
+        _, workload, split = spec_runner_parts
+        sizes = {}
+        for scale in (0.25, 1.0):
+            runner = ParallelExperimentRunner(
+                small_imdb_spec.with_scale(scale),
+                workload,
+                runtime_config=RuntimeConfig(workers=2, executor_kind="process"),
+            )
+            task = runner.tasks_for(("postgres",), [split])[0]
+            sizes[scale] = len(pickle.dumps(runner.spec_payload(task)))
+        assert all(size < 10 * 1024 for size in sizes.values())
+        assert sizes[0.25] == sizes[1.0]
+
+    def test_specless_database_has_no_spec_dispatch(self, spec_runner_parts):
+        _, workload, split = spec_runner_parts
+        database = generate_imdb(scale=0.25, seed=7, config=SIMULATION_CONFIG)
+        runner = ParallelExperimentRunner(database, workload)
+        assert not runner.uses_spec_dispatch
+        with pytest.raises(ExperimentError):
+            runner.spec_payload(runner.tasks_for(("postgres",), [split])[0])
+
+    def test_modified_workload_under_registered_name_rejected(
+        self, small_imdb_spec, spec_runner_parts
+    ):
+        """A hand-built workload sharing a registered name must not be silently
+        replaced by the canonical rebuild in workers — it is rejected instead."""
+        _, workload, split = spec_runner_parts
+        lookalike = workload.subset(["1a", "1b", "2a", "2b", "3a"], name="job")
+        runner = ParallelExperimentRunner(
+            small_imdb_spec,
+            lookalike,
+            runtime_config=RuntimeConfig(workers=2, executor_kind="process"),
+        )
+        assert runner.uses_spec_dispatch  # name-registered, so payloads build...
+        payload = runner.spec_payload(runner.tasks_for(("postgres",), [split])[0])
+        with pytest.raises(ExperimentError, match="fingerprint mismatch"):
+            _run_spec_task(payload)  # ...but the worker-side guard refuses
+
+    def test_worker_workload_rebuilt_once_per_process(
+        self, small_imdb_spec, spec_runner_parts, monkeypatch
+    ):
+        """Task 2..N of a grid must reuse the worker's memoized workload."""
+        from repro.runtime import parallel
+
+        _, workload, split = spec_runner_parts
+        runner = ParallelExperimentRunner(
+            small_imdb_spec,
+            workload,
+            experiment_config=ExperimentConfig(deterministic_timing=True),
+            runtime_config=RuntimeConfig(workers=2, executor_kind="process"),
+        )
+        payloads = [
+            runner.spec_payload(task)
+            for task in runner.tasks_for(("postgres",), [split], repeats=2)
+        ]
+        parallel._WORKER_WORKLOADS.clear()
+        rebuilds: list[int] = []
+        real_build = parallel.build_workload
+        monkeypatch.setattr(
+            parallel,
+            "build_workload",
+            lambda *args: rebuilds.append(1) or real_build(*args),
+        )
+        for payload in payloads:  # run worker entry point in-process
+            parallel._run_spec_task(payload)
+        assert len(rebuilds) == 1
+
+    def test_worker_rebuild_in_spawned_process_identical(self, small_imdb_spec, spec_runner_parts):
+        """A cold interpreter (empty registry) rebuilds and matches exactly."""
+        _, workload, split = spec_runner_parts
+        runner = ParallelExperimentRunner(
+            small_imdb_spec,
+            workload,
+            experiment_config=ExperimentConfig(deterministic_timing=True),
+            runtime_config=RuntimeConfig(workers=2, executor_kind="process"),
+        )
+        task = runner.tasks_for(("postgres",), [split])[0]
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            remote = pool.submit(_run_spec_task, runner.spec_payload(task)).result()
+        assert _json(remote) == _json(runner.run_task(task))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.catalog.schema import Column, ColumnType, Schema, Table
+from repro.catalog.schema import Column, ColumnType, Table
 from repro.catalog.statistics import NULL_SENTINEL
 from repro.errors import StorageError
 from repro.storage.buffer_pool import BufferPool
