@@ -1,11 +1,13 @@
 # Developer entry points for the paper reproduction.
 #
-#   make test           - tier-1 test suite (the driver's gate)
-#   make lint           - ruff check (+ advisory format check), as in CI
-#   make bench-smoke    - one fast benchmark as an end-to-end smoke check
-#   make bench-parallel - process-pool sweep with resume-skip assertion, as in CI
-#   make bench          - every benchmark at reduced scale
-#   make example        - the parallel+resume runtime demo
+#   make test              - tier-1 test suite (the driver's gate)
+#   make lint              - ruff check (+ advisory format check), as in CI
+#   make bench-smoke       - one fast benchmark as an end-to-end smoke check
+#   make bench-parallel    - process-pool sweep with resume-skip assertion, as in CI
+#   make bench-distributed - work-queue sweep with a killed worker, lease
+#                            re-queue, resume and shard merge, as in CI
+#   make bench             - every benchmark at reduced scale
+#   make example           - the parallel+resume runtime demo
 #
 # Benchmarks honour REPRO_BENCH_SCALE / REPRO_BENCH_FULL / REPRO_BENCH_WORKERS /
 # REPRO_BENCH_EXECUTOR / REPRO_BENCH_STORE (see benchmarks/conftest.py).
@@ -16,7 +18,11 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 # Store directory of the bench-parallel resume check (temp dir by default).
 BENCH_PARALLEL_STORE ?= $(shell mktemp -d /tmp/repro-store.XXXXXX)
 
-.PHONY: test lint bench-smoke bench-parallel bench example
+# Sharded store of the bench-distributed crash-recovery check (the merged
+# flat store lands next to it at <dir>-merged).
+BENCH_DISTRIBUTED_STORE ?= $(shell mktemp -d /tmp/repro-dist.XXXXXX)
+
+.PHONY: test lint bench-smoke bench-parallel bench-distributed bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +38,10 @@ bench-parallel:
 	REPRO_BENCH_WORKERS=2 REPRO_BENCH_EXECUTOR=process \
 	REPRO_BENCH_STORE=$(BENCH_PARALLEL_STORE) \
 	$(PYTHON) examples/parallel_experiments.py
+
+bench-distributed:
+	REPRO_BENCH_WORKERS=2 REPRO_BENCH_STORE=$(BENCH_DISTRIBUTED_STORE) \
+	$(PYTHON) examples/distributed_sweep.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

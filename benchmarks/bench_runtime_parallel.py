@@ -3,9 +3,10 @@
 Expected shape: a warm :class:`PlanCache` serves repeated planning requests at
 least 2x faster than planning from scratch (in practice orders of magnitude),
 the parallel grid produces results identical to serial execution, a resumed
-sweep recomputes nothing, and process-pool dispatch ships a constant-size
+sweep recomputes nothing, process-pool dispatch ships a constant-size
 :class:`DatabaseSpec` payload — per-task pickling cost no longer grows with
-database scale.
+database scale — and the distributed work-queue executor stays byte-identical
+to serial while writing a sharded store that merges flat.
 """
 
 import json
@@ -15,11 +16,11 @@ import time
 from repro.config import RuntimeConfig
 from repro.core.experiment import ExperimentConfig
 from repro.core.splits import SplitSampling, generate_split
-from repro.experiments.common import job_context
+from repro.experiments.common import distributed_runtime, job_context
 from repro.optimizer.planner import Planner
 from repro.runtime.parallel import ParallelExperimentRunner
 from repro.runtime.plan_cache import PlanCache
-from repro.runtime.result_store import ResultStore
+from repro.runtime.result_store import ResultStore, ShardedResultStore
 
 #: Number of repeated planning passes over the workload (ablation-style reuse).
 PLANNING_PASSES = 5
@@ -174,3 +175,40 @@ def test_process_pool_spec_dispatch_equivalent_to_serial(benchmark, bench_scale)
     assert a == b
     print()
     print(f"process-pool grid of {len(a)} tasks byte-identical to serial at scale {bench_scale}")
+
+
+def test_distributed_workqueue_equivalent_to_serial(benchmark, bench_scale, tmp_path):
+    """The work-queue executor (2 local worker processes, sharded store) must
+    stay byte-identical to serial, and the shards must merge into a flat
+    store from which every task loads under its context fingerprint."""
+    context = job_context(bench_scale)
+    split = generate_split(context.workload, SplitSampling.RANDOM, seed=0)
+    config = ExperimentConfig(optimizer_kwargs={"bao": {"training_passes": 1}})
+    methods = ("postgres", "bao")
+
+    runner = ParallelExperimentRunner(
+        context.dispatch_source,
+        context.workload,
+        experiment_config=config,
+        runtime_config=distributed_runtime(tmp_path / "dist-store", workers=2, shard_count=4),
+    )
+    distributed = benchmark.pedantic(
+        lambda: runner.run_grid(methods, [split]), iterations=1, rounds=1
+    )
+    serial = ParallelExperimentRunner(
+        context.dispatch_source,
+        context.workload,
+        experiment_config=config,
+        runtime_config=RuntimeConfig(workers=1, executor_kind="serial"),
+    ).run_grid(methods, [split])
+    a = [json.dumps(r.to_dict(), sort_keys=True) for r in distributed]
+    b = [json.dumps(r.to_dict(), sort_keys=True) for r in serial]
+    assert a == b
+
+    store = runner.result_store
+    assert isinstance(store, ShardedResultStore)
+    merged = store.merge(tmp_path / "merged")
+    for task in runner.tasks_for(methods, [split]):
+        merged.load(runner.task_key(task), runner.task_fingerprint(task))
+    print()
+    print(f"distributed grid of {len(a)} tasks byte-identical to serial; {store.describe()}")

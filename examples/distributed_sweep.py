@@ -1,0 +1,168 @@
+"""Distributed experiment sweep with a killed worker, resume and store merge.
+
+Exercises the full multi-host runtime on one machine:
+
+1. A coordinator fans a reduced Figure-4-style grid out through the file-based
+   work queue onto ``REPRO_BENCH_WORKERS`` (default 2) local worker processes
+   writing a **sharded** result store.
+2. Once both workers are mid-task, one of them is SIGKILLed — its claim stops
+   heart-beating, the coordinator's lease sweep re-queues it, and the
+   surviving worker finishes the grid.
+3. The same sweep runs again: everything resumes from the store, nothing is
+   recomputed (asserted via stored-file mtimes).
+4. The shards are merged into a flat store at ``<store>-merged``, every task
+   is loaded back under its context fingerprint, and the whole grid is
+   checked byte-identical against serial execution.
+
+The script exits non-zero if any of those properties is violated, so CI can
+gate on it (the ``bench-distributed`` job).
+
+Usage::
+
+    PYTHONPATH=src python examples/distributed_sweep.py [store_dir]
+
+Environment: ``REPRO_BENCH_WORKERS`` (local workers, default 2),
+``REPRO_BENCH_STORE`` (used when no ``store_dir`` argument is given).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.config import RuntimeConfig
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import store_report
+from repro.core.splits import DatasetSplit, SplitSampling
+from repro.experiments.common import distributed_runtime, job_context
+from repro.runtime.parallel import ParallelExperimentRunner
+
+METHODS = ("postgres", "bao")
+
+EXPERIMENT_CONFIG = ExperimentConfig(
+    optimizer_kwargs={"bao": {"training_passes": 1}},
+    executions_per_query=2,
+)
+
+
+def demo_splits(workload_name: str) -> list[DatasetSplit]:
+    """Two small fixed splits so the demo finishes in minutes, not hours."""
+    return [
+        DatasetSplit(workload_name, SplitSampling.RANDOM, 0,
+                     train_ids=("1a", "2a", "3a", "6a"), test_ids=("1b", "2b", "4a")),
+        DatasetSplit(workload_name, SplitSampling.RANDOM, 1,
+                     train_ids=("6b", "8a", "17a", "10a"), test_ids=("3a", "1a", "20a")),
+    ]
+
+
+def result_json(result) -> str:
+    import json
+
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def kill_one_worker_mid_sweep(
+    runner: ParallelExperimentRunner, queue_dir: Path, coordinator: threading.Thread
+) -> bool:
+    """Wait until every local worker holds a claim and one task is done, then
+    SIGKILL one worker.  Returns whether a worker was killed."""
+    done_dir, claimed_dir = queue_dir / "done", queue_dir / "claimed"
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline and coordinator.is_alive():
+        procs = [p for p in runner._distributed_procs if p.poll() is None]
+        busy = len(list(claimed_dir.glob("*.task"))) if claimed_dir.is_dir() else 0
+        finished = len(list(done_dir.glob("*.json"))) if done_dir.is_dir() else 0
+        if len(procs) >= 2 and busy >= len(procs) and finished >= 1:
+            victim = procs[0]
+            victim.kill()  # SIGKILL: no cleanup, its claim's heartbeat just stops
+            print(f"killed worker pid {victim.pid} mid-sweep "
+                  f"({finished} tasks done, {busy} claims held)")
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def main(store_dir: str | None = None) -> None:
+    if store_dir is None:
+        store_dir = os.environ.get("REPRO_BENCH_STORE") or tempfile.mkdtemp(
+            prefix="repro-distributed-"
+        )
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    context = job_context(scale=0.25)
+    splits = demo_splits(context.workload.name)
+    runner = ParallelExperimentRunner(
+        context.dispatch_source,
+        context.workload,
+        experiment_config=EXPERIMENT_CONFIG,
+        # A short lease keeps the dead worker's re-queue snappy in the demo; a
+        # real sweep would leave the 60 s default.
+        runtime_config=distributed_runtime(
+            store_dir, workers=workers, shard_count=4, lease_timeout_s=3.0
+        ),
+    )
+    store = runner.result_store
+    queue_dir = store.root / "queue"
+    tasks = runner.tasks_for(METHODS, splits, repeats=2)
+    print(f"running {len(tasks)} tasks on {workers} queue workers "
+          f"(sharded store: {store_dir}) ...")
+
+    # --- sweep 1: coordinator in a thread, one worker killed mid-sweep -----
+    outcome: dict[str, list] = {}
+    coordinator = threading.Thread(
+        target=lambda: outcome.setdefault("results", runner.run_tasks(tasks)), daemon=True
+    )
+    start = time.perf_counter()
+    coordinator.start()
+    killed = kill_one_worker_mid_sweep(runner, queue_dir, coordinator)
+    coordinator.join(timeout=1800)
+    assert not coordinator.is_alive(), "coordinator did not finish"
+    assert "results" in outcome, "sweep produced no results"
+    results = outcome["results"]
+    assert killed, (
+        "never caught both workers busy, so nothing was killed "
+        "(was the store already populated? the crash demo needs a fresh store dir)"
+    )
+    print(f"first sweep survived the kill in {time.perf_counter() - start:.1f} s; "
+          f"{runner._distributed_requeued} expired claim(s) re-queued; {store.describe()}")
+    assert runner._distributed_requeued >= 1, "the dead worker's claim was never re-queued"
+
+    # --- sweep 2: full resume, nothing recomputed --------------------------
+    files_before = {path: path.stat().st_mtime_ns for path in store.completed_files()}
+    assert len(files_before) == len(tasks)
+    start = time.perf_counter()
+    rerun = runner.run_tasks(tasks)
+    print(f"second sweep (resumed from shards): {time.perf_counter() - start:.3f} s")
+    files_after = {path: path.stat().st_mtime_ns for path in store.completed_files()}
+    assert files_after == files_before, "resume recomputed and re-wrote result files"
+    assert [result_json(r) for r in rerun] == [result_json(r) for r in results]
+
+    # --- merge + serial equivalence ----------------------------------------
+    merged_dir = str(Path(store_dir).with_name(Path(store_dir).name + "-merged"))
+    merged = store.merge(merged_dir)
+    manifest = store.manifest()
+    print(f"merged {len(files_before)} results from {manifest['shard_count']} shards "
+          f"into {merged_dir} ({len(manifest['context_fingerprints'])} context fingerprint(s))")
+    serial = ParallelExperimentRunner(
+        context.dispatch_source,
+        context.workload,
+        experiment_config=EXPERIMENT_CONFIG,
+        runtime_config=RuntimeConfig(workers=1, executor_kind="serial"),
+    )
+    expected = serial.run_tasks(tasks)
+    for task, reference in zip(tasks, expected):
+        key, fingerprint = runner.task_key(task), runner.task_fingerprint(task)
+        assert merged.exists(key, fingerprint), f"merged store is missing {key.describe()}"
+        assert result_json(merged.load(key, fingerprint)) == result_json(reference), (
+            f"distributed result for {key.describe()} differs from serial execution"
+        )
+    print(f"distributed results byte-identical to serial for all {len(tasks)} tasks")
+    print()
+    print(store_report(merged, title="Report regenerated from the merged store"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

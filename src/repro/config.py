@@ -266,7 +266,7 @@ def iter_presets() -> Iterator[tuple[str, PostgresConfig]]:
 # ---------------------------------------------------------------------------
 
 #: Executor kinds accepted by :class:`RuntimeConfig`.
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "distributed")
 
 
 @dataclass(frozen=True)
@@ -275,9 +275,14 @@ class RuntimeConfig:
 
     Attributes:
         workers: number of concurrent experiment tasks; ``1`` runs serially.
-        executor_kind: ``"thread"`` (default), ``"process"`` or ``"serial"``.
-            Thread workers share the read-only table data; process workers
-            pay a pickling cost per task but sidestep the GIL.
+            Under ``"distributed"`` this is the number of *local* worker
+            processes the coordinator launches; remote workers started by hand
+            (``python -m repro.runtime.worker``) add capacity on top.
+        executor_kind: ``"thread"`` (default), ``"process"``, ``"serial"`` or
+            ``"distributed"``.  Thread workers share the read-only table data;
+            process workers pay a pickling cost per task but sidestep the GIL;
+            distributed execution fans tasks out through a file-based work
+            queue that any number of hosts sharing a filesystem can drain.
         plan_cache_entries: capacity of the shared :class:`~repro.runtime.plan_cache.PlanCache`
             (``0`` disables plan caching).
         store_dir: directory of the resumable JSON result store; ``None``
@@ -285,6 +290,15 @@ class RuntimeConfig:
         skip_existing: when a result store is configured, completed (method,
             split, seed) tasks found in the store are loaded instead of re-run
             (PostBOUND-style resume semantics).
+        shard_count: with ``store_dir`` set, a value > 0 builds a
+            :class:`~repro.runtime.result_store.ShardedResultStore` with that
+            many shard directories (required layout for contention-free
+            multi-host writes); ``0`` keeps the flat single-directory layout.
+        queue_dir: work-queue directory of distributed execution; ``None``
+            defaults to ``<store root>/queue``.
+        lease_timeout_s: distributed claim lease — a claimed task whose worker
+            stopped heart-beating for this long is re-queued for another
+            worker (dead-worker recovery).
     """
 
     workers: int = 1
@@ -292,6 +306,9 @@ class RuntimeConfig:
     plan_cache_entries: int = 1024
     store_dir: str | None = None
     skip_existing: bool = True
+    shard_count: int = 0
+    queue_dir: str | None = None
+    lease_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -302,6 +319,10 @@ class RuntimeConfig:
             )
         if self.plan_cache_entries < 0:
             raise ValueError("RuntimeConfig.plan_cache_entries must be >= 0")
+        if self.shard_count < 0:
+            raise ValueError("RuntimeConfig.shard_count must be >= 0")
+        if self.lease_timeout_s <= 0:
+            raise ValueError("RuntimeConfig.lease_timeout_s must be positive")
 
     def with_overrides(self, **overrides: Any) -> "RuntimeConfig":
         return replace(self, **overrides)

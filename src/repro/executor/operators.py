@@ -233,13 +233,15 @@ def _index_lookup(index, data, predicate):
 # ---------------------------------------------------------------------------
 
 def index_nestloop_inner(database: Database, node: JoinNode):
-    """Return ``(scan, index, join_column)`` when ``node`` can run as an index
-    nested loop into its right child, else ``None``.
+    """Return ``(scan, index, join_column, probe_predicate)`` when ``node`` can
+    run as an index nested loop into its right child, else ``None``.
 
     The inner side must be a base-table scan with an index on one of the join
     columns; in that case the executor probes the index per outer tuple instead
     of materializing the inner relation (matching PostgreSQL's parameterized
-    inner index scans).
+    inner index scans).  The returned predicate is the one the probe enforces —
+    every *other* join predicate of the node must still be applied after the
+    probe.
     """
     if node.join_type is not JoinType.NESTED_LOOP:
         return None
@@ -251,7 +253,7 @@ def index_nestloop_inner(database: Database, node: JoinNode):
             column = predicate.column_for(inner.alias)
             index = database.index(inner.table, column)
             if index is not None:
-                return inner, index, column
+                return inner, index, column, predicate
     return None
 
 
@@ -266,17 +268,14 @@ def execute_index_nestloop(
     resolved = index_nestloop_inner(database, node)
     if resolved is None:
         raise ExecutionError("join cannot be executed as an index nested loop")
-    inner_scan, index, column = resolved
+    inner_scan, index, column, probe = resolved
     metrics = OperatorMetrics()
     metrics.tuples_in = left.size
 
-    # Outer join-key values.
-    outer_alias, outer_column = None, None
-    for predicate in node.predicates:
-        if predicate.involves(inner_scan.alias):
-            outer_alias, outer_column = predicate.other(inner_scan.alias)
-            break
-    assert outer_alias is not None and outer_column is not None
+    # Outer join-key values come from the probe predicate itself: the index is
+    # on ``probe``'s inner column, so probing it with any other predicate's
+    # outer values would match unrelated rows.
+    outer_alias, outer_column = probe.other(inner_scan.alias)
     outer_keys = fetch_column(database, query, left, outer_alias, outer_column)
 
     probe_positions, matched_rows, index_pages = index.probe_many(outer_keys)
@@ -309,16 +308,22 @@ def execute_index_nestloop(
     result = _combine(left, Relation.from_row_ids(inner_scan.alias, matched_rows),
                       probe_positions, np.arange(matched_rows.size, dtype=np.int64))
 
-    # Secondary join predicates between the same two sides become filters.
-    for predicate in node.predicates[1:]:
-        if not predicate.involves(inner_scan.alias):
+    # Every join predicate except the probe becomes a post-join filter —
+    # including a predicate at position 0 that the probe did not enforce, and
+    # predicates between two outer-side aliases.  Skipping any of them would
+    # silently drop a join condition and produce wrong rows.
+    for predicate in node.predicates:
+        if predicate is probe:
             continue
-        other_alias, other_column = predicate.other(inner_scan.alias)
-        if other_alias not in result.aliases:
-            continue
-        lvals = fetch_column(database, query, result, other_alias, other_column)
-        rvals = fetch_column(database, query, result, inner_scan.alias,
-                             predicate.column_for(inner_scan.alias))
+        if (
+            predicate.left_alias not in result.aliases
+            or predicate.right_alias not in result.aliases
+        ):
+            raise ExecutionError(
+                f"join predicate {predicate} does not connect the joined relations"
+            )
+        lvals = fetch_column(database, query, result, predicate.left_alias, predicate.left_column)
+        rvals = fetch_column(database, query, result, predicate.right_alias, predicate.right_column)
         keep_mask = (lvals == rvals) & (lvals != NULL_SENTINEL)
         metrics.cpu_ops += result.size
         result = result.select(np.nonzero(keep_mask)[0])

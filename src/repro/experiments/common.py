@@ -16,7 +16,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.config import SIMULATION_CONFIG, PostgresConfig
+from repro.config import SIMULATION_CONFIG, PostgresConfig, RuntimeConfig
 from repro.storage.database import Database
 from repro.storage.registry import get_process_registry
 from repro.storage.spec import DatabaseSpec
@@ -112,3 +112,29 @@ def imdb_half_database(scale: float | None = None, seed: int = 42) -> Database:
 def framework_config() -> PostgresConfig:
     """The configuration the paper's framework uses, scaled to the simulation."""
     return SIMULATION_CONFIG
+
+
+def distributed_runtime(
+    store_dir: str | os.PathLike,
+    workers: int = 2,
+    shard_count: int = 4,
+    queue_dir: str | os.PathLike | None = None,
+    lease_timeout_s: float = 60.0,
+) -> RuntimeConfig:
+    """Runtime configuration of a multi-host sweep over a shared filesystem.
+
+    The sweep writes a :class:`~repro.runtime.result_store.ShardedResultStore`
+    under ``store_dir`` (so concurrent writers never contend on one
+    directory) and coordinates through a work queue, by default at
+    ``<store_dir>/queue``.  ``workers`` local worker processes are launched by
+    the coordinator; start more with ``python -m repro.runtime.worker`` on any
+    host that mounts the store.
+    """
+    return RuntimeConfig(
+        workers=workers,
+        executor_kind="distributed",
+        store_dir=str(store_dir),
+        shard_count=shard_count,
+        queue_dir=None if queue_dir is None else str(queue_dir),
+        lease_timeout_s=lease_timeout_s,
+    )

@@ -8,10 +8,19 @@ scales with the hardware:
 * :mod:`repro.runtime.plan_cache` — a shared LRU :class:`PlanCache` for
   planner results, wired into :class:`repro.optimizer.planner.Planner`.
 * :mod:`repro.runtime.result_store` — a resumable JSON :class:`ResultStore`
-  with PostBOUND-style skip-existing semantics.
+  with PostBOUND-style skip-existing semantics, and the
+  :class:`ShardedResultStore` that partitions results over N shard
+  directories for contention-free multi-host writes (with ``merge`` /
+  ``compact`` back to a flat store).
+* :mod:`repro.runtime.workqueue` — the file-based :class:`WorkQueue`
+  (atomic-rename claims, lease heartbeats, dead-worker re-queue) that
+  coordinates distributed sweeps over a shared filesystem.
+* :mod:`repro.runtime.worker` — the ``python -m repro.runtime.worker``
+  claim-execute-ack loop run on each participating host.
 * :mod:`repro.runtime.parallel` — the :class:`ParallelExperimentRunner` that
-  fans the (method × split × seed) grid over a ``concurrent.futures`` pool
-  with results bit-identical to serial execution.
+  fans the (method × split × seed) grid over a ``concurrent.futures`` pool —
+  or, with ``executor_kind="distributed"``, over the work queue — with
+  results bit-identical to serial execution.
 """
 
 from repro.runtime.fingerprint import (
@@ -24,7 +33,8 @@ from repro.runtime.fingerprint import (
     stable_seed,
 )
 from repro.runtime.plan_cache import CacheStats, PlanCache
-from repro.runtime.result_store import ResultStore, TaskKey
+from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
+from repro.runtime.workqueue import QueueStats, TaskClaim, WorkQueue
 
 
 def __getattr__(name: str):
@@ -43,8 +53,12 @@ __all__ = [
     "ParallelExperimentRunner",
     "SpecTaskPayload",
     "PlanCache",
+    "QueueStats",
     "ResultStore",
+    "ShardedResultStore",
+    "TaskClaim",
     "TaskKey",
+    "WorkQueue",
     "canonical_query_text",
     "config_fingerprint",
     "hints_fingerprint",

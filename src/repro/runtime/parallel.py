@@ -31,13 +31,29 @@ results to serial execution:
 With a :class:`~repro.runtime.result_store.ResultStore` attached the grid is
 resumable: completed tasks are skipped (PostBOUND-style ``skip_existing``) and
 fresh results are persisted as they arrive.
+
+* **Distributed execution** — ``executor_kind="distributed"`` pushes the same
+  :class:`SpecTaskPayload`\\ s through a file-based
+  :class:`~repro.runtime.workqueue.WorkQueue` instead of a process pool.  The
+  coordinator enqueues claimable task files, launches ``workers`` local worker
+  processes (``python -m repro.runtime.worker``), and any number of additional
+  workers on other hosts sharing the store's filesystem can drain the same
+  queue.  Workers persist results into the shared — typically
+  :class:`~repro.runtime.result_store.ShardedResultStore` — store; dead
+  workers' claims are re-queued after a lease timeout, and the coordinator
+  assembles the grid-ordered results from the store once every task is acked.
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
 import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Union
 
 from repro.config import PostgresConfig, RuntimeConfig
@@ -47,12 +63,16 @@ from repro.core.splits import DatasetSplit
 from repro.errors import ExperimentError
 from repro.runtime.fingerprint import stable_seed
 from repro.runtime.plan_cache import PlanCache
-from repro.runtime.result_store import ResultStore, TaskKey
+from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
+from repro.runtime.workqueue import WorkQueue
 from repro.storage.database import Database
 from repro.storage.registry import get_process_registry, resolve_database
 from repro.storage.spec import DatabaseSpec
 from repro.workloads import build_workload, is_registered_workload
 from repro.workloads.workload import Workload
+
+#: Seconds between coordinator polls of the distributed queue state.
+COORDINATOR_POLL_S = 0.2
 
 
 @dataclass(frozen=True)
@@ -96,6 +116,10 @@ class SpecTaskPayload:
     store_root: str | None
     skip_existing: bool
     task: ExperimentTask
+    #: Shard count of the result store at ``store_root``; ``0`` means the flat
+    #: single-directory layout.  Part of the payload so a remote worker opens
+    #: the store with the same routing as every other writer.
+    store_shards: int = 0
 
 
 #: Per-process memo of worker-rebuilt workloads, keyed by (workload name,
@@ -131,21 +155,32 @@ def _worker_workload(payload: SpecTaskPayload, database: Database) -> Workload:
     return workload
 
 
-def _run_spec_task(payload: SpecTaskPayload) -> MethodRunResult:
+def _payload_store(payload: SpecTaskPayload) -> ResultStore | None:
+    """Open the payload's result store with the layout the coordinator used."""
+    if payload.store_root is None:
+        return None
+    if payload.store_shards:
+        return ShardedResultStore(
+            payload.store_root,
+            shard_count=payload.store_shards,
+            skip_existing=payload.skip_existing,
+        )
+    return ResultStore(payload.store_root, skip_existing=payload.skip_existing)
+
+
+def execute_spec_payload(payload: SpecTaskPayload) -> MethodRunResult:
     """Worker-side entry point of spec-based dispatch (module level: picklable).
 
     The database comes out of the worker's process registry — built once on
     the first task, reused by every later task of the same spec (and, under a
     forking start method, inherited from the parent without any rebuild).
-    The workload is likewise rebuilt once per process and reused.
+    The workload is likewise rebuilt once per process and reused.  Both the
+    process-pool executor and the distributed queue worker funnel through
+    this function, so every executor kind runs tasks identically.
     """
     database = get_process_registry().get(payload.spec)
     workload = _worker_workload(payload, database)
-    store = (
-        ResultStore(payload.store_root, skip_existing=payload.skip_existing)
-        if payload.store_root is not None
-        else None
-    )
+    store = _payload_store(payload)
     runner = ParallelExperimentRunner(
         database,
         workload,
@@ -187,11 +222,23 @@ class ParallelExperimentRunner:
         self.experiment_config = replace(base, deterministic_timing=True)
         self.runtime_config = runtime_config or RuntimeConfig()
         if result_store is None and self.runtime_config.store_dir is not None:
-            result_store = ResultStore(
-                self.runtime_config.store_dir,
-                skip_existing=self.runtime_config.skip_existing,
-            )
+            if self.runtime_config.shard_count > 0:
+                result_store = ShardedResultStore(
+                    self.runtime_config.store_dir,
+                    shard_count=self.runtime_config.shard_count,
+                    skip_existing=self.runtime_config.skip_existing,
+                )
+            else:
+                result_store = ResultStore(
+                    self.runtime_config.store_dir,
+                    skip_existing=self.runtime_config.skip_existing,
+                )
         self.result_store = result_store
+        #: Local worker processes of the most recent distributed sweep
+        #: (observability: lets callers and the crash-recovery demo reach them).
+        self._distributed_procs: list[subprocess.Popen] = []
+        #: Number of expired claims the most recent distributed sweep re-queued.
+        self._distributed_requeued = 0
 
     # ------------------------------------------------------------------ grid
     def tasks_for(
@@ -296,7 +343,7 @@ class ParallelExperimentRunner:
                 "spec dispatch unavailable: the database carries no DatabaseSpec "
                 "or the workload is not registered for rebuilding"
             )
-        store_root = str(self.result_store.root) if self.result_store is not None else None
+        store = self.result_store
         return SpecTaskPayload(
             spec=self.database_spec,
             workload_name=self.workload.name,
@@ -304,14 +351,17 @@ class ParallelExperimentRunner:
             db_config=self.db_config,
             experiment_config=self.experiment_config,
             plan_cache_entries=self.runtime_config.plan_cache_entries,
-            store_root=store_root,
-            skip_existing=self.result_store.skip_existing if self.result_store else True,
+            store_root=str(store.root) if store is not None else None,
+            skip_existing=store.skip_existing if store else True,
             task=task,
+            store_shards=store.shard_count if isinstance(store, ShardedResultStore) else 0,
         )
 
     def run_tasks(self, tasks: list[ExperimentTask]) -> list[MethodRunResult]:
-        workers = min(self.runtime_config.workers, max(len(tasks), 1))
         kind = self.runtime_config.executor_kind
+        if kind == "distributed":
+            return self._run_distributed(tasks)
+        workers = min(self.runtime_config.workers, max(len(tasks), 1))
         if workers <= 1 or kind == "serial" or len(tasks) <= 1:
             return [self._run_or_resume(task) for task in tasks]
         with self._make_executor(kind, workers) as pool:
@@ -320,7 +370,9 @@ class ParallelExperimentRunner:
                 # constant in database scale.  Note that store bookkeeping
                 # (loaded/stored counters) then happens in the workers; the
                 # parent-side ResultStore counters only reflect parent loads.
-                futures = [pool.submit(_run_spec_task, self.spec_payload(task)) for task in tasks]
+                futures = [
+                    pool.submit(execute_spec_payload, self.spec_payload(task)) for task in tasks
+                ]
             else:
                 futures = [pool.submit(self._run_or_resume, task) for task in tasks]
             return [future.result() for future in futures]
@@ -330,6 +382,136 @@ class ParallelExperimentRunner:
         if kind == "process":
             return ProcessPoolExecutor(max_workers=workers)
         return ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-task")
+
+    # ------------------------------------------------------------------ distributed
+    def _run_distributed(self, tasks: list[ExperimentTask]) -> list[MethodRunResult]:
+        """Coordinate one sweep over the file-based work queue.
+
+        Pending tasks (not already in the store) are enqueued as claimable
+        payload files, ``workers`` local worker processes are launched, and
+        the coordinator polls the queue — re-queuing expired leases of dead
+        workers — until every enqueued task is acked.  Results are then
+        assembled from the store in grid order, so the output is identical to
+        every other executor kind.
+        """
+        if not tasks:
+            return []
+        if not self.uses_spec_dispatch:
+            raise ExperimentError(
+                "distributed execution requires spec dispatch: build the database "
+                "through the catalog factories (or pass a DatabaseSpec) and use a "
+                "workload registered for rebuilding"
+            )
+        store = self.result_store
+        if store is None:
+            raise ExperimentError(
+                "distributed execution requires a result store (set RuntimeConfig.store_dir "
+                "to a directory on the filesystem the workers share)"
+            )
+        config = self.runtime_config
+        queue_root = Path(config.queue_dir) if config.queue_dir is not None else store.root / "queue"
+        queue = WorkQueue(queue_root, lease_timeout_s=config.lease_timeout_s)
+        # The coordinator owns the queue directory: drop whatever a crashed
+        # earlier sweep left behind (orphan tasks would be pointlessly
+        # re-executed; stale ack markers accumulate forever).  Results are
+        # unaffected — they live in the store, and completed tasks are skipped
+        # below before anything is enqueued.
+        queue.reset()
+        self._distributed_requeued = 0
+
+        keyed = [(task, self.task_key(task), self.task_fingerprint(task)) for task in tasks]
+        # A sweep-unique id prefix keeps this run's ack markers apart from any
+        # earlier sweep that used the same queue directory.
+        sweep_id = os.urandom(4).hex()
+        enqueued: set[str] = set()
+        for index, (task, key, fingerprint) in enumerate(keyed):
+            if store.skip_existing and store.exists(key, fingerprint):
+                continue  # resume: already stored, never hits the queue
+            task_id = f"{sweep_id}-{index:04d}"
+            queue.enqueue(task_id, self.spec_payload(task))
+            enqueued.add(task_id)
+
+        procs: list[subprocess.Popen] = []
+        if enqueued:
+            procs = [
+                self._spawn_worker(queue_root, index, config.lease_timeout_s)
+                for index in range(min(config.workers, len(enqueued)))
+            ]
+        self._distributed_procs = procs
+        try:
+            self._await_queue(queue, enqueued, procs)
+        finally:
+            queue.write_stop()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=60)
+                except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                    proc.kill()
+                    proc.wait()
+        if isinstance(store, ShardedResultStore):
+            store.refresh_manifest()
+        return [store.load(key, fingerprint) for _, key, fingerprint in keyed]
+
+    def _await_queue(
+        self, queue: WorkQueue, task_ids: set[str], procs: list[subprocess.Popen]
+    ) -> None:
+        remaining = set(task_ids)
+        while remaining:
+            remaining -= queue.done_ids()
+            if not remaining:
+                return
+            failed = {tid: msg for tid, msg in queue.failed_tasks().items() if tid in task_ids}
+            if failed:
+                task_id, message = sorted(failed.items())[0]
+                raise ExperimentError(
+                    f"{len(failed)} distributed task(s) failed; first ({task_id}): {message}"
+                )
+            self._distributed_requeued += len(queue.requeue_expired())
+            if (
+                procs
+                and all(proc.poll() is not None for proc in procs)
+                and not queue.has_live_claims()
+            ):
+                # Every local worker exited and nobody (local or remote) holds
+                # a live lease: without intervention the sweep can never
+                # finish, so surface it instead of polling forever.
+                codes = [proc.returncode for proc in procs]
+                raise ExperimentError(
+                    f"all {len(procs)} local distributed workers exited (return codes "
+                    f"{codes}) with {len(remaining)} task(s) unfinished; worker logs are "
+                    f"under {queue.root / 'workers'}"
+                )
+            time.sleep(COORDINATOR_POLL_S)
+
+    @staticmethod
+    def _spawn_worker(queue_root: Path, index: int, lease_timeout_s: float) -> subprocess.Popen:
+        """Launch one local queue worker (same interpreter, logs under the queue)."""
+        source_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = str(source_root) + (os.pathsep + existing if existing else "")
+        log_dir = queue_root / "workers"
+        log_dir.mkdir(parents=True, exist_ok=True)
+        command = [
+            sys.executable,
+            "-m",
+            "repro.runtime.worker",
+            str(queue_root),
+            "--worker-id",
+            f"local-{index}",
+            "--lease-renew",
+            # Heartbeat several times per lease so a live-but-slow worker's
+            # claims are never mistaken for a dead worker's.
+            str(max(lease_timeout_s / 4.0, 0.05)),
+            "--idle-timeout",
+            # Orphan bound: if this coordinator dies without writing the stop
+            # sentinel, its workers must not poll forever.  A live sweep never
+            # idles a worker anywhere near this long — re-queued work appears
+            # within one lease timeout.
+            str(max(10.0 * lease_timeout_s, 300.0)),
+        ]
+        with open(log_dir / f"local-{index}.log", "ab") as log:
+            return subprocess.Popen(command, stdout=log, stderr=subprocess.STDOUT, env=env)
 
     # ------------------------------------------------------------------ parity
     def run_comparison(

@@ -1,0 +1,120 @@
+"""Claim-execute-ack worker of the distributed experiment runtime.
+
+Run one of these per host (or several per host) against a queue directory on
+a shared filesystem::
+
+    PYTHONPATH=src python -m repro.runtime.worker /shared/sweep/store/queue
+
+The worker loops: atomically claim a task from ``pending/``, rebuild the
+database from the task's :class:`~repro.storage.spec.DatabaseSpec` (reusing
+the per-process registry across tasks), execute the grid cell, persist the
+result into the payload's (possibly sharded) result store, and ack.  A
+heartbeat thread touches the claimed file while the task runs so the
+coordinator's lease-expiry sweep never re-queues a task that is merely slow;
+if this process is killed, the heartbeat stops with it and the lease expires.
+
+The worker exits when the coordinator drops the queue's ``stop`` sentinel and
+no work is claimable, after ``--max-tasks`` tasks, or after ``--idle-timeout``
+seconds without work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+
+from repro.runtime.workqueue import TaskClaim, WorkQueue
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _heartbeat(queue: WorkQueue, claim: TaskClaim, stop: threading.Event, interval_s: float) -> None:
+    while not stop.wait(interval_s):
+        queue.renew(claim)
+
+
+def run_worker(
+    queue_dir: str,
+    worker_id: str | None = None,
+    poll_interval_s: float = 0.2,
+    idle_timeout_s: float | None = None,
+    max_tasks: int | None = None,
+    lease_renew_s: float = 5.0,
+) -> int:
+    """Drain tasks from ``queue_dir`` until stopped; returns the number completed."""
+    # Imported here so ``python -m repro.runtime.worker --help`` stays instant.
+    from repro.runtime.parallel import execute_spec_payload
+
+    queue = WorkQueue(queue_dir)
+    worker_id = worker_id or default_worker_id()
+    completed = 0
+    idle_since = time.monotonic()
+    while max_tasks is None or completed < max_tasks:
+        claim = queue.claim(worker_id)
+        if claim is None:
+            if queue.stop_requested():
+                break
+            if idle_timeout_s is not None and time.monotonic() - idle_since > idle_timeout_s:
+                break
+            time.sleep(poll_interval_s)
+            continue
+        idle_since = time.monotonic()
+        stop_heartbeat = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat, args=(queue, claim, stop_heartbeat, lease_renew_s), daemon=True
+        )
+        beat.start()
+        try:
+            execute_spec_payload(claim.payload)
+        except Exception as exc:
+            stop_heartbeat.set()
+            beat.join()
+            queue.fail(claim, worker_id, f"{type(exc).__name__}: {exc}")
+            print(f"[{worker_id}] FAILED {claim.task_id}: {exc}", file=sys.stderr, flush=True)
+            continue
+        stop_heartbeat.set()
+        beat.join()
+        queue.ack(claim, worker_id)
+        completed += 1
+        print(f"[{worker_id}] completed {claim.task_id}", flush=True)
+    print(f"[{worker_id}] exiting after {completed} task(s)", flush=True)
+    return completed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.worker",
+        description="Claim and execute distributed experiment tasks from a shared work queue.",
+    )
+    parser.add_argument("queue_dir", help="queue directory on the shared filesystem")
+    parser.add_argument("--worker-id", default=None, help="identity written into ack markers "
+                        "(default: <hostname>-<pid>)")
+    parser.add_argument("--poll-interval", type=float, default=0.2, metavar="S",
+                        help="seconds between claim attempts when idle (default 0.2)")
+    parser.add_argument("--idle-timeout", type=float, default=None, metavar="S",
+                        help="exit after this many idle seconds (default: wait for the stop sentinel)")
+    parser.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after completing N tasks (default: unlimited)")
+    parser.add_argument("--lease-renew", type=float, default=5.0, metavar="S",
+                        help="heartbeat interval while executing; keep it well below the "
+                        "coordinator's lease timeout (default 5)")
+    args = parser.parse_args(argv)
+    run_worker(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        poll_interval_s=args.poll_interval,
+        idle_timeout_s=args.idle_timeout,
+        max_tasks=args.max_tasks,
+        lease_renew_s=args.lease_renew,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

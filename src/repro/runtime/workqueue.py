@@ -1,0 +1,248 @@
+"""File-based work queue for multi-host experiment fan-out.
+
+The coordinator and any number of workers share one queue directory on a
+common filesystem (local disk for same-host pools, NFS/CephFS/... for
+multi-host sweeps).  All coordination happens through atomic ``os.rename``:
+
+* ``pending/<task_id>.task`` — a pickled :class:`~repro.runtime.parallel.SpecTaskPayload`,
+  enqueued by the coordinator via write-to-temp + rename.
+* ``claimed/<task_id>.task`` — a worker claims a task by renaming it out of
+  ``pending/``; rename is atomic, so exactly one worker wins a task no matter
+  how many race on it.  The claimed file's mtime is the *lease heartbeat*:
+  the winning worker touches it on claim and periodically while executing.
+* ``done/<task_id>.json`` / ``failed/<task_id>.json`` — ack markers written by
+  the worker after executing (results themselves go into the shared result
+  store, not the queue).
+* ``stop`` — sentinel the coordinator drops when the sweep is complete;
+  workers exit once they find no work and the sentinel is present.
+
+A worker that dies (SIGKILL, OOM, host loss) simply stops touching its
+claimed files; once a claim's mtime is older than the lease timeout,
+:meth:`WorkQueue.requeue_expired` renames it back into ``pending/`` and
+another worker picks it up.  Task execution is idempotent (results are
+persisted with atomic writes under content-addressed names), so the rare
+double execution after a lease expiry is harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.runtime.result_store import atomic_write_bytes
+
+#: Subdirectory names of the queue layout.
+PENDING, CLAIMED, DONE, FAILED = "pending", "claimed", "done", "failed"
+
+#: Stop sentinel file name.
+STOP_SENTINEL = "stop"
+
+_TASK_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class TaskClaim:
+    """A successfully claimed task: its id, claimed-file path and payload."""
+
+    task_id: str
+    path: Path
+    payload: object
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Snapshot of the queue state (counts racy by nature, exact per directory)."""
+
+    pending: int
+    claimed: int
+    done: int
+    failed: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.pending} pending, {self.claimed} claimed, "
+            f"{self.done} done, {self.failed} failed"
+        )
+
+
+class WorkQueue:
+    """Coordinator/worker handle over one shared queue directory."""
+
+    def __init__(self, root: str | os.PathLike, lease_timeout_s: float = 60.0) -> None:
+        if lease_timeout_s <= 0:
+            raise ExperimentError("WorkQueue.lease_timeout_s must be positive")
+        self.root = Path(root)
+        self.lease_timeout_s = float(lease_timeout_s)
+        for name in (PENDING, CLAIMED, DONE, FAILED):
+            (self.root / name).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ paths
+    def _dir(self, name: str) -> Path:
+        return self.root / name
+
+    @property
+    def stop_path(self) -> Path:
+        return self.root / STOP_SENTINEL
+
+    # ------------------------------------------------------------------ coordinator
+    def enqueue(self, task_id: str, payload: object) -> Path:
+        """Make one task claimable (atomic: a worker never sees a partial file)."""
+        if not _TASK_ID_RE.match(task_id):
+            raise ExperimentError(f"task id {task_id!r} is not filesystem-safe")
+        target = self._dir(PENDING) / f"{task_id}.task"
+        atomic_write_bytes(target, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        return target
+
+    def requeue_expired(self) -> list[str]:
+        """Re-queue every claim whose lease heartbeat has gone stale.
+
+        A live worker touches its claim more often than the lease timeout;
+        a claim that stopped being touched belongs to a dead worker and goes
+        back to ``pending/`` for someone else.
+        """
+        now = time.time()
+        requeued: list[str] = []
+        for path in sorted(self._dir(CLAIMED).glob("*.task")):
+            try:
+                age = now - path.stat().st_mtime
+            except FileNotFoundError:  # acked or requeued under us
+                continue
+            if age <= self.lease_timeout_s:
+                continue
+            try:
+                os.rename(path, self._dir(PENDING) / path.name)
+            except FileNotFoundError:
+                continue
+            requeued.append(path.stem)
+        return requeued
+
+    def reset(self) -> int:
+        """Drop every task file, ack marker and the stop sentinel.
+
+        A coordinator owns its queue directory: calling this before enqueueing
+        reconciles a directory left behind by a crashed earlier sweep —
+        orphaned pending/claimed tasks would otherwise be drained (and
+        re-executed) by the new sweep's workers, and done/failed markers would
+        accumulate without bound.  Returns the number of files removed.
+        """
+        removed = 0
+        for kind, pattern in ((PENDING, "*.task"), (CLAIMED, "*.task"),
+                              (DONE, "*.json"), (FAILED, "*.json")):
+            for path in self._dir(kind).glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:  # pragma: no cover - racing leftover worker
+                    continue
+        self.clear_stop()
+        return removed
+
+    def write_stop(self) -> None:
+        self.stop_path.touch()
+
+    def clear_stop(self) -> None:
+        self.stop_path.unlink(missing_ok=True)
+
+    def stop_requested(self) -> bool:
+        return self.stop_path.is_file()
+
+    # ------------------------------------------------------------------ worker
+    def claim(self, worker_id: str) -> TaskClaim | None:
+        """Atomically claim one pending task, or ``None`` when nothing is claimable.
+
+        The rename is the claim: losing the race on one candidate just moves
+        on to the next.  A claim whose payload cannot be unpickled is marked
+        failed instead of being executed.
+        """
+        for candidate in sorted(self._dir(PENDING).glob("*.task")):
+            target = self._dir(CLAIMED) / candidate.name
+            try:
+                os.rename(candidate, target)
+            except FileNotFoundError:
+                continue  # another worker won this one; any other OSError is a
+                # real filesystem problem and must surface, not hang the sweep
+            try:
+                os.utime(target)  # start the lease heartbeat at claim time
+                payload = pickle.loads(target.read_bytes())
+            except FileNotFoundError:
+                continue  # requeued out from under us before we could start
+            except Exception as exc:  # corrupt payload: never executable
+                self._write_marker(FAILED, target.stem, worker_id, error=f"unreadable payload: {exc}")
+                target.unlink(missing_ok=True)
+                continue
+            return TaskClaim(task_id=target.stem, path=target, payload=payload)
+        return None
+
+    def renew(self, claim: TaskClaim) -> None:
+        """Refresh the claim's lease heartbeat (no-op if the claim was requeued)."""
+        try:
+            os.utime(claim.path)
+        except FileNotFoundError:
+            pass
+
+    def ack(self, claim: TaskClaim, worker_id: str) -> None:
+        """Mark a claim as completed and release it."""
+        self._write_marker(DONE, claim.task_id, worker_id)
+        claim.path.unlink(missing_ok=True)
+
+    def fail(self, claim: TaskClaim, worker_id: str, error: str) -> None:
+        """Mark a claim as failed (it is *not* re-queued: the error is deterministic
+        until someone changes the code or inputs, unlike a dead worker's lease)."""
+        self._write_marker(FAILED, claim.task_id, worker_id, error=error)
+        claim.path.unlink(missing_ok=True)
+
+    def _write_marker(self, kind: str, task_id: str, worker_id: str, error: str | None = None) -> None:
+        marker = {"task_id": task_id, "worker": worker_id, "status": kind}
+        if error is not None:
+            marker["error"] = error
+        target = self._dir(kind) / f"{task_id}.json"
+        atomic_write_bytes(target, json.dumps(marker, indent=1, sort_keys=True).encode("utf-8"))
+
+    # ------------------------------------------------------------------ inspection
+    def pending_ids(self) -> set[str]:
+        return {path.stem for path in self._dir(PENDING).glob("*.task")}
+
+    def claimed_ids(self) -> set[str]:
+        return {path.stem for path in self._dir(CLAIMED).glob("*.task")}
+
+    def done_ids(self) -> set[str]:
+        return {path.stem for path in self._dir(DONE).glob("*.json")}
+
+    def failed_tasks(self) -> dict[str, str]:
+        """Failed task ids mapped to their error messages."""
+        out: dict[str, str] = {}
+        for path in sorted(self._dir(FAILED).glob("*.json")):
+            try:
+                marker = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                marker = {}
+            out[path.stem] = str(marker.get("error", "unknown error"))
+        return out
+
+    def has_live_claims(self) -> bool:
+        """Whether any claim's lease is still being heart-beaten."""
+        now = time.time()
+        for path in self._dir(CLAIMED).glob("*.task"):
+            try:
+                if now - path.stat().st_mtime <= self.lease_timeout_s:
+                    return True
+            except FileNotFoundError:
+                continue
+        return False
+
+    def stats(self) -> QueueStats:
+        return QueueStats(
+            pending=len(self.pending_ids()),
+            claimed=len(self.claimed_ids()),
+            done=len(self.done_ids()),
+            failed=len(self.failed_tasks()),
+        )
+
+    def describe(self) -> str:
+        return f"WorkQueue({self.root}, {self.stats().describe()})"

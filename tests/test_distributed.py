@@ -1,0 +1,441 @@
+"""Tests for the distributed runtime: sharded store, work queue, queue workers.
+
+The heavyweight end-to-end tests launch real ``python -m repro.runtime.worker``
+processes against a queue on the test's tmp filesystem — the same moving
+parts a multi-host sweep uses, minus the network filesystem.
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.config import SIMULATION_CONFIG, RuntimeConfig
+from repro.core.experiment import ExperimentConfig
+from repro.core.metrics import MethodRunResult, QueryTiming
+from repro.core.splits import DatasetSplit, SplitSampling
+from repro.errors import ExperimentError
+from repro.experiments.common import distributed_runtime
+from repro.runtime.parallel import ParallelExperimentRunner
+from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
+from repro.runtime.workqueue import WorkQueue
+from repro.storage.registry import get_process_registry
+from repro.storage.spec import DatabaseSpec
+from repro.workloads import build_workload
+
+GRID_METHODS = ("postgres", "bao")
+
+GRID_CONFIG = ExperimentConfig(
+    optimizer_kwargs={"bao": {"training_passes": 1}},
+    deterministic_timing=True,
+)
+
+
+def run_result_as_json(result: MethodRunResult) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def _sample_result(method: str = "postgres") -> MethodRunResult:
+    return MethodRunResult(
+        method=method,
+        split_name="random-0",
+        workload_name="job",
+        training_time_s=0.5,
+        executed_training_plans=3,
+        timings=[
+            QueryTiming(
+                query_id="1a",
+                method=method,
+                inference_time_ms=0.0,
+                planning_time_ms=1.0,
+                execution_time_ms=10.0,
+                timed_out=False,
+                num_joins=2,
+            )
+        ],
+    )
+
+
+def _spec_grid_parts(scale: float = 0.2):
+    spec = DatabaseSpec.create("imdb", scale=scale, seed=7, config=SIMULATION_CONFIG)
+    database = get_process_registry().get(spec)
+    workload = build_workload("job", database.schema)
+    split = DatasetSplit(
+        workload_name=workload.name,
+        sampling=SplitSampling.RANDOM,
+        split_index=0,
+        train_ids=("1a", "2a", "3a"),
+        test_ids=("1b", "2b"),
+    )
+    return spec, workload, split
+
+
+# ---------------------------------------------------------------------------
+# Sharded result store
+# ---------------------------------------------------------------------------
+
+
+class TestShardedResultStore:
+    def test_round_trip_routes_into_shard_directories(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "sharded", shard_count=4)
+        keys = [TaskKey("job", f"random-{i}", method, seed=i) for i in range(4)
+                for method in ("postgres", "bao")]
+        for key in keys:
+            store.save(key, _sample_result(key.method), context_fingerprint="ctx")
+        for key in keys:
+            assert store.exists(key, "ctx")
+            assert store.load(key, "ctx").method == key.method
+            relative = store.path_for(key, "ctx").relative_to(store.root)
+            assert relative.parts[0].startswith("shard-")
+            assert store.shard_of(key) == key.shard_index(4)
+        assert sum(1 for _ in store.completed_files()) == len(keys)
+        assert "4 shards" in store.describe()
+
+    def test_shard_assignment_is_stable(self):
+        key = TaskKey("job", "random-0", "postgres", seed=3)
+        assert key.shard_index(8) == key.shard_index(8)
+        assert 0 <= key.shard_index(8) < 8
+        # Different keys spread over more than one shard.
+        shards = {TaskKey("job", f"s-{i}", "postgres").shard_index(8) for i in range(32)}
+        assert len(shards) > 1
+
+    def test_manifest_validates_shard_count(self, tmp_path):
+        ShardedResultStore(tmp_path / "store", shard_count=4)
+        reopened = ShardedResultStore(tmp_path / "store", shard_count=4)
+        assert reopened.manifest()["shard_count"] == 4
+        with pytest.raises(ExperimentError):
+            ShardedResultStore(tmp_path / "store", shard_count=8)
+
+    def test_refresh_manifest_records_context_fingerprints(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store", shard_count=2)
+        store.save(TaskKey("job", "s", "postgres"), _sample_result(), "ctx-a")
+        store.save(TaskKey("job", "s", "bao"), _sample_result("bao"), "ctx-b")
+        manifest = store.refresh_manifest()
+        assert manifest["shard_count"] == 2
+        assert manifest["context_fingerprints"] == ["ctx-a", "ctx-b"]
+
+    def test_merge_produces_flat_store_with_identical_bytes(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "sharded", shard_count=4)
+        keys = [TaskKey("job", f"random-{i}", "postgres", seed=i) for i in range(6)]
+        for key in keys:
+            store.save(key, _sample_result(), context_fingerprint=f"ctx-{key.seed}")
+        store.save_artifact("summary", {"rows": 6})
+
+        flat = store.merge(tmp_path / "flat")
+        assert type(flat) is ResultStore
+        for key in keys:
+            fingerprint = f"ctx-{key.seed}"
+            assert flat.exists(key, fingerprint)
+            assert flat.load(key, fingerprint).to_dict() == _sample_result().to_dict()
+            sharded_bytes = store.path_for(key, fingerprint).read_bytes()
+            assert flat.path_for(key, fingerprint).read_bytes() == sharded_bytes
+        assert flat.load_artifact("summary") == {"rows": 6}
+        # The merged layout is flat: no shard directories.
+        assert not list(flat.root.glob("shard-*"))
+
+    def test_compact_folds_shards_in_place(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store", shard_count=3)
+        keys = [TaskKey("job", "s", m, seed=i) for i, m in enumerate(("postgres", "bao", "neo"))]
+        for key in keys:
+            store.save(key, _sample_result(key.method), "ctx")
+        flat = store.compact()
+        assert not list(flat.root.glob("shard-*"))
+        assert not (flat.root / "manifest.json").exists()
+        for key in keys:
+            assert flat.load(key, "ctx").method == key.method
+
+    def test_clear_preserves_artifacts_and_manifest(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store", shard_count=2)
+        store.save(TaskKey("job", "s", "postgres"), _sample_result(), "ctx")
+        store.save_artifact("table", [1, 2, 3])
+        assert store.clear() == 1
+        assert store.load_artifact("table") == [1, 2, 3]
+        assert store.manifest()["shard_count"] == 2
+
+    def test_stale_tmp_file_ignored_in_shard(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store", shard_count=2)
+        key = TaskKey("job", "random-0", "postgres")
+        directory = store.path_for(key).parent
+        directory.mkdir(parents=True)
+        (directory / "postgres-seed0.abc123.tmp").write_text("{partial")
+        assert not store.exists(key)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers (satellite: _atomic_write under contention)
+# ---------------------------------------------------------------------------
+
+
+def _hammer_store(store_kind: str, root: str, writes: int) -> None:
+    """Child-process body: repeatedly save the same key into a shared store."""
+    if store_kind == "sharded":
+        store = ShardedResultStore(root, shard_count=4)
+    else:
+        store = ResultStore(root)
+    key = TaskKey("job", "random-0", "postgres", seed=1)
+    for _ in range(writes):
+        store.save(key, _sample_result(), context_fingerprint="ctx")
+
+
+class TestConcurrentWriters:
+    @pytest.mark.parametrize("store_kind", ["flat", "sharded"])
+    def test_two_processes_saving_same_key_leave_valid_json(self, tmp_path, store_kind):
+        """Two processes race 50 saves each on one key: the surviving file must
+        be valid JSON and round-trip, never a torn mix of both writers."""
+        root = str(tmp_path / store_kind)
+        context = multiprocessing.get_context("fork")
+        procs = [
+            context.Process(target=_hammer_store, args=(store_kind, root, 50))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        store = (
+            ShardedResultStore(root, shard_count=4) if store_kind == "sharded" else ResultStore(root)
+        )
+        key = TaskKey("job", "random-0", "postgres", seed=1)
+        payload = json.loads(store.path_for(key, "ctx").read_text())
+        assert payload["context_fingerprint"] == "ctx"
+        assert store.load(key, "ctx").to_dict() == _sample_result().to_dict()
+        # No .tmp leftovers: every temp file was renamed or cleaned up.
+        assert not list(store.root.rglob("*.tmp"))
+
+
+# ---------------------------------------------------------------------------
+# Work queue
+# ---------------------------------------------------------------------------
+
+
+class TestWorkQueue:
+    def test_enqueue_claim_ack_lifecycle(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=30)
+        queue.enqueue("t-0", {"payload": 1})
+        queue.enqueue("t-1", {"payload": 2})
+        assert queue.pending_ids() == {"t-0", "t-1"}
+
+        claim = queue.claim("worker-a")
+        assert claim is not None and claim.task_id == "t-0"
+        assert claim.payload == {"payload": 1}
+        assert queue.claimed_ids() == {"t-0"}
+
+        queue.ack(claim, "worker-a")
+        assert queue.done_ids() == {"t-0"}
+        assert queue.claimed_ids() == set()
+        assert queue.stats().describe() == "1 pending, 0 claimed, 1 done, 0 failed"
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue("only", "task")
+        first = queue.claim("a")
+        second = queue.claim("b")
+        assert first is not None and second is None
+
+    def test_requeue_expired_returns_dead_claims(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=0.05)
+        queue.enqueue("t-0", "task")
+        claim = queue.claim("doomed")
+        assert claim is not None
+        time.sleep(0.1)  # lease expires: the claimer never heart-beats
+        assert queue.requeue_expired() == ["t-0"]
+        assert queue.pending_ids() == {"t-0"}
+        revived = queue.claim("survivor")
+        assert revived is not None and revived.payload == "task"
+
+    def test_renew_keeps_lease_alive(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=0.2)
+        queue.enqueue("t-0", "task")
+        claim = queue.claim("steady")
+        for _ in range(3):
+            time.sleep(0.1)
+            queue.renew(claim)
+        assert queue.requeue_expired() == []
+        assert queue.has_live_claims()
+
+    def test_fail_marker_carries_error(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue("t-0", "task")
+        claim = queue.claim("w")
+        queue.fail(claim, "w", "ValueError: boom")
+        assert queue.failed_tasks() == {"t-0": "ValueError: boom"}
+        assert queue.claimed_ids() == set()
+
+    def test_reset_reconciles_a_reused_queue_directory(self, tmp_path):
+        """A crashed sweep's leftovers (orphan tasks, stale markers, stop
+        sentinel) must not leak into the next sweep."""
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue("old-0", "task")
+        queue.enqueue("old-1", "task")
+        claim = queue.claim("w")
+        queue.enqueue("old-2", "task")
+        done = queue.claim("w")
+        queue.ack(done, "w")
+        queue.fail(queue.claim("w"), "w", "boom")
+        queue.write_stop()
+        assert claim is not None
+        assert queue.reset() == 3  # 1 claimed + 1 done marker + 1 failed marker
+        assert queue.pending_ids() == queue.claimed_ids() == set()
+        assert queue.done_ids() == set() and queue.failed_tasks() == {}
+        assert not queue.stop_requested()
+
+    def test_stop_sentinel(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        assert not queue.stop_requested()
+        queue.write_stop()
+        assert queue.stop_requested()
+        queue.clear_stop()
+        assert not queue.stop_requested()
+
+    def test_unsafe_task_id_rejected(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        with pytest.raises(ExperimentError):
+            queue.enqueue("../escape", "task")
+
+    def test_nonpositive_lease_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            WorkQueue(tmp_path / "q", lease_timeout_s=0)
+
+
+# ---------------------------------------------------------------------------
+# Distributed execution end to end
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedRunner:
+    def test_distributed_identical_to_serial_and_merge_loads(self, tmp_path):
+        """2 queue workers vs serial: byte-identical results, sharded layout on
+        disk, and every task loads from the merged flat store under its
+        context fingerprint (the PR's acceptance criterion)."""
+        spec, workload, split = _spec_grid_parts()
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=distributed_runtime(
+                tmp_path / "store", workers=2, shard_count=4, lease_timeout_s=30
+            ),
+        )
+        distributed = [run_result_as_json(r) for r in runner.run_grid(GRID_METHODS, [split])]
+
+        serial = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=RuntimeConfig(workers=1),
+        )
+        expected = [run_result_as_json(r) for r in serial.run_grid(GRID_METHODS, [split])]
+        assert distributed == expected
+
+        store = runner.result_store
+        assert isinstance(store, ShardedResultStore)
+        stored = list(store.completed_files())
+        assert len(stored) == len(GRID_METHODS)
+        assert all(p.relative_to(store.root).parts[0].startswith("shard-") for p in stored)
+        assert store.manifest()["context_fingerprints"]  # refreshed by the coordinator
+
+        merged = store.merge(tmp_path / "merged")
+        for task in runner.tasks_for(GRID_METHODS, [split]):
+            key, fingerprint = runner.task_key(task), runner.task_fingerprint(task)
+            assert merged.exists(key, fingerprint)
+            merged.load(key, fingerprint)  # raises on fingerprint mismatch
+
+    def test_dead_worker_claim_is_requeued_and_finished(self, tmp_path):
+        """A claim whose worker died (claimed, never heart-beaten) must expire
+        and be finished by a surviving worker, byte-identical to serial."""
+        spec, workload, split = _spec_grid_parts()
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=distributed_runtime(
+                tmp_path / "store", workers=1, shard_count=2, lease_timeout_s=1.0
+            ),
+        )
+        tasks = runner.tasks_for(GRID_METHODS, [split])
+        queue = WorkQueue(runner.result_store.root / "queue", lease_timeout_s=1.0)
+        for index, task in enumerate(tasks):
+            queue.enqueue(f"t-{index}", runner.spec_payload(task))
+        # Simulate a worker that claimed a task and was then SIGKILLed: the
+        # claim exists but its heartbeat never advances.
+        doomed = queue.claim("doomed-worker")
+        assert doomed is not None
+
+        proc = runner._spawn_worker(queue.root, 0, lease_timeout_s=1.0)
+        try:
+            deadline = time.monotonic() + 180
+            requeued: list[str] = []
+            while time.monotonic() < deadline:
+                requeued += queue.requeue_expired()
+                if queue.done_ids() >= {f"t-{i}" for i in range(len(tasks))}:
+                    break
+                assert not queue.failed_tasks()
+                time.sleep(0.2)
+        finally:
+            queue.write_stop()
+            proc.wait(timeout=60)
+        assert doomed.task_id in requeued  # the dead worker's lease was re-queued
+        assert queue.done_ids() >= {f"t-{i}" for i in range(len(tasks))}
+
+        serial = ParallelExperimentRunner(
+            spec, workload, experiment_config=GRID_CONFIG, runtime_config=RuntimeConfig(workers=1)
+        )
+        expected = serial.run_grid(GRID_METHODS, [split])
+        for task, reference in zip(tasks, expected):
+            stored = runner.result_store.load(runner.task_key(task), runner.task_fingerprint(task))
+            assert run_result_as_json(stored) == run_result_as_json(reference)
+
+    def test_distributed_resume_skips_completed_tasks(self, tmp_path):
+        """A second distributed sweep over a fully-populated store enqueues
+        nothing, spawns no workers and serves every result from disk."""
+        spec, workload, split = _spec_grid_parts()
+
+        def make_runner():
+            return ParallelExperimentRunner(
+                spec,
+                workload,
+                experiment_config=GRID_CONFIG,
+                runtime_config=distributed_runtime(tmp_path / "store", workers=2, shard_count=2),
+            )
+
+        first = make_runner()
+        original = [run_result_as_json(r) for r in first.run_grid(GRID_METHODS, [split])]
+
+        second = make_runner()
+        resumed = [run_result_as_json(r) for r in second.run_grid(GRID_METHODS, [split])]
+        assert resumed == original
+        assert second._distributed_procs == []  # nothing was queued, nobody spawned
+        assert second.result_store.loaded_count == len(GRID_METHODS)
+
+    def test_distributed_requires_result_store(self):
+        spec, workload, split = _spec_grid_parts()
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=RuntimeConfig(workers=2, executor_kind="distributed"),
+        )
+        with pytest.raises(ExperimentError, match="result store"):
+            runner.run_grid(GRID_METHODS, [split])
+
+    def test_distributed_requires_spec_dispatch(self, imdb_db, job_workload, tmp_path):
+        """A hand-built database (no spec) cannot ship through the queue."""
+        split = DatasetSplit(
+            workload_name=job_workload.name,
+            sampling=SplitSampling.RANDOM,
+            split_index=0,
+            train_ids=("1a",),
+            test_ids=("1b",),
+        )
+        database = imdb_db.with_config(imdb_db.config)
+        database.spec = None
+        runner = ParallelExperimentRunner(
+            database,
+            job_workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=distributed_runtime(tmp_path / "store", workers=2),
+        )
+        with pytest.raises(ExperimentError, match="spec dispatch"):
+            runner.run_grid(("postgres",), [split])

@@ -420,6 +420,64 @@ class TestNestedLoopOracle:
         plan = planner.plan(query, hints)
         assert int(tiny_engine.execute(query, plan).rows[0][0]) == expected
 
+    def test_index_nestloop_applies_every_non_probe_predicate(self):
+        """Regression: a join predicate ahead of the probe must not be dropped.
+
+        ``s.x = i.val`` has no index on the inner side, so the probe runs on
+        the *second* predicate (``i.grp`` is indexed).  The executor used to
+        take the outer probe keys from the first predicate and only apply
+        ``predicates[1:]`` as post-join filters — probing the index with the
+        wrong outer values and silently dropping the first join condition,
+        which on this data turns 3 result rows into 0.  Index nested loop and
+        hash join must agree with the brute-force oracle.
+        """
+        from repro.plans.physical import JoinNode, JoinType, ScanNode
+
+        src = Table("src", columns=[Column("id"), Column("x"), Column("grp")])
+        item = Table(
+            "item",
+            columns=[Column("id"), Column("grp"), Column("val")],
+            indexes=[Index(table="item", column="grp")],
+        )
+        schema = Schema("probe-order", tables=[src, item])
+        db = Database(
+            schema=schema,
+            tables={
+                "src": TableData(
+                    table=src,
+                    columns={
+                        "id": np.array([1, 2, 3, 4, 5], dtype=np.int64),
+                        "x": np.array([10, 30, 10, 1, 10], dtype=np.int64),
+                        "grp": np.array([1, 1, 2, 2, NULL_SENTINEL], dtype=np.int64),
+                    },
+                ),
+                "item": TableData(
+                    table=item,
+                    columns={
+                        "id": np.array([1, 2, 3, 4], dtype=np.int64),
+                        "grp": np.array([1, 1, 2, NULL_SENTINEL], dtype=np.int64),
+                        "val": np.array([10, 30, 10, 10], dtype=np.int64),
+                    },
+                ),
+            },
+            config=SIMULATION_CONFIG,
+        )
+        engine = ExecutionEngine(db)
+        sql = "SELECT COUNT(*) FROM src AS s, item AS i WHERE s.x = i.val AND s.grp = i.grp"
+        query = bind_sql(sql, db.schema, name="multi-pred")
+        expected = len(oracle_tuples(db, query))
+        predicates = tuple(query.joins)
+        assert predicates[0].column_for("i") == "val"  # unindexed: probe is predicates[1]
+        assert db.index("item", "val") is None and db.index("item", "grp") is not None
+
+        outer = ScanNode(alias="s", table="src")
+        inner = ScanNode(alias="i", table="item")
+        counts = {}
+        for join_type in (JoinType.NESTED_LOOP, JoinType.HASH):
+            plan = JoinNode(join_type=join_type, left=outer, right=inner, predicates=predicates)
+            counts[join_type] = int(engine.execute(query, plan).rows[0][0])
+        assert counts[JoinType.NESTED_LOOP] == counts[JoinType.HASH] == expected > 0
+
     def test_group_by_matches_oracle(self, tiny_db, tiny_engine):
         sql = (
             "SELECT p.category, COUNT(*) FROM parent AS p, child AS c "

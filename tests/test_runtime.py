@@ -312,6 +312,55 @@ class TestResultStore:
         assert store.clear() == 1
         assert list(store.completed_files()) == []
 
+    def test_stale_tmp_file_does_not_poison_resume(self, tmp_path):
+        """Regression: a ``.tmp`` leftover of a crashed atomic write looked
+        like a stored result to the fingerprint-less ``exists()``/``load()``
+        path, so resume either skipped the task or died on 'corrupt stored
+        result'.  The task must be re-run and the fresh save must win."""
+        store = ResultStore(tmp_path)
+        key = TaskKey("job", "random-0", "postgres")
+        directory = store.path_for(key).parent
+        directory.mkdir(parents=True)
+        # Same shape _atomic_write's mkstemp produces: <stem>.<random>.tmp.
+        stale = directory / "postgres-seed0.x7f3q9.tmp"
+        stale.write_text('{"format_version": 1, "result": {truncated')
+        assert not store.exists(key)
+        with pytest.raises(ExperimentError):
+            store.load(key)
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return _sample_result()
+
+        result, resumed = store.load_or_run(key, thunk)
+        assert calls == [1] and resumed is False
+        assert run_result_as_json(store.load(key)) == run_result_as_json(result)
+
+    def test_tmp_leftover_next_to_real_result_is_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = TaskKey("job", "random-0", "postgres")
+        store.save(key, _sample_result(), context_fingerprint="ctx")
+        (store.path_for(key, "ctx").parent / "postgres-seed0.zzzz.tmp").write_text("{broken")
+        assert store.exists(key)
+        assert store.load(key).to_dict() == _sample_result().to_dict()
+        # seed1 must still not match seed10 after the pattern change.
+        other = TaskKey("job", "random-0", "postgres", seed=1)
+        store.save(TaskKey("job", "random-0", "postgres", seed=10), _sample_result())
+        assert not store.exists(other)
+
+    def test_clear_and_describe_exclude_artifacts(self, tmp_path):
+        """Regression: ``clear()`` deleted saved artifacts and ``describe()``
+        counted them as stored results."""
+        store = ResultStore(tmp_path)
+        store.save(TaskKey("job", "s", "m"), _sample_result())
+        store.save_artifact("figure4 rows", [{"method": "postgres"}])
+        assert "1 stored results" in store.describe()
+        assert store.clear() == 1
+        assert list(store.completed_files()) == []
+        # The artifact survived the clear and is still loadable.
+        assert store.load_artifact("figure4 rows") == [{"method": "postgres"}]
+
     def test_artifact_round_trip(self, tmp_path):
         store = ResultStore(tmp_path)
         rows = [{"method": "postgres", "end_to_end_ms": 12.5}]

@@ -21,7 +21,7 @@ from repro.config import SIMULATION_CONFIG, RuntimeConfig
 from repro.core.experiment import ExperimentConfig, ExperimentRunner
 from repro.core.splits import DatasetSplit, SplitSampling
 from repro.errors import CatalogError, ExperimentError, StorageError, WorkloadError
-from repro.runtime.parallel import ParallelExperimentRunner, _run_spec_task
+from repro.runtime.parallel import ParallelExperimentRunner, execute_spec_payload
 from repro.storage.registry import DatabaseRegistry, get_process_registry, resolve_database
 from repro.storage.spec import DatabaseSpec
 from repro.workloads import build_workload, is_registered_workload, registered_workloads
@@ -324,7 +324,7 @@ class TestSpecDispatch:
         assert runner.uses_spec_dispatch  # name-registered, so payloads build...
         payload = runner.spec_payload(runner.tasks_for(("postgres",), [split])[0])
         with pytest.raises(ExperimentError, match="fingerprint mismatch"):
-            _run_spec_task(payload)  # ...but the worker-side guard refuses
+            execute_spec_payload(payload)  # ...but the worker-side guard refuses
 
     def test_worker_workload_rebuilt_once_per_process(
         self, small_imdb_spec, spec_runner_parts, monkeypatch
@@ -352,7 +352,7 @@ class TestSpecDispatch:
             lambda *args: rebuilds.append(1) or real_build(*args),
         )
         for payload in payloads:  # run worker entry point in-process
-            parallel._run_spec_task(payload)
+            parallel.execute_spec_payload(payload)
         assert len(rebuilds) == 1
 
     def test_worker_rebuild_in_spawned_process_identical(self, small_imdb_spec, spec_runner_parts):
@@ -367,5 +367,5 @@ class TestSpecDispatch:
         task = runner.tasks_for(("postgres",), [split])[0]
         ctx = multiprocessing.get_context("spawn")
         with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
-            remote = pool.submit(_run_spec_task, runner.spec_payload(task)).result()
+            remote = pool.submit(execute_spec_payload, runner.spec_payload(task)).result()
         assert _json(remote) == _json(runner.run_task(task))
