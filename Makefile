@@ -6,6 +6,8 @@
 #   make bench-parallel    - process-pool sweep with resume-skip assertion, as in CI
 #   make bench-distributed - work-queue sweep with a killed worker, lease
 #                            re-queue, resume and shard merge, as in CI
+#   make bench-distributed-tcp - the same crash-recovery sweep over the TCP
+#                            queue transport: no shared queue/store directory
 #   make bench             - every benchmark at reduced scale
 #   make example           - the parallel+resume runtime demo
 #
@@ -22,7 +24,11 @@ BENCH_PARALLEL_STORE ?= $(shell mktemp -d /tmp/repro-store.XXXXXX)
 # flat store lands next to it at <dir>-merged).
 BENCH_DISTRIBUTED_STORE ?= $(shell mktemp -d /tmp/repro-dist.XXXXXX)
 
-.PHONY: test lint bench-smoke bench-parallel bench-distributed bench example
+# Coordinator-local store of the TCP-transport crash-recovery check (workers
+# never see this path: tasks and results travel over the socket).
+BENCH_DISTRIBUTED_TCP_STORE ?= $(shell mktemp -d /tmp/repro-dist-tcp.XXXXXX)
+
+.PHONY: test lint bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +47,11 @@ bench-parallel:
 
 bench-distributed:
 	REPRO_BENCH_WORKERS=2 REPRO_BENCH_STORE=$(BENCH_DISTRIBUTED_STORE) \
+	$(PYTHON) examples/distributed_sweep.py
+
+bench-distributed-tcp:
+	REPRO_BENCH_WORKERS=2 REPRO_BENCH_TRANSPORT=tcp \
+	REPRO_BENCH_STORE=$(BENCH_DISTRIBUTED_TCP_STORE) \
 	$(PYTHON) examples/distributed_sweep.py
 
 bench:

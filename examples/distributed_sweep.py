@@ -2,11 +2,15 @@
 
 Exercises the full multi-host runtime on one machine:
 
-1. A coordinator fans a reduced Figure-4-style grid out through the file-based
-   work queue onto ``REPRO_BENCH_WORKERS`` (default 2) local worker processes
-   writing a **sharded** result store.
-2. Once both workers are mid-task, one of them is SIGKILLed — its claim stops
-   heart-beating, the coordinator's lease sweep re-queues it, and the
+1. A coordinator fans a reduced Figure-4-style grid out through the work
+   queue onto ``REPRO_BENCH_WORKERS`` (default 2) local worker processes.
+   With ``REPRO_BENCH_TRANSPORT=file`` (default) the queue is a directory on
+   a shared filesystem and the workers write the **sharded** result store
+   themselves; with ``REPRO_BENCH_TRANSPORT=tcp`` the coordinator serves the
+   queue over a socket, no queue/store directory is shared at all, and
+   workers upload results back inside their ack frames.
+2. Once both workers are mid-task, one of them is SIGKILLed — its lease stops
+   being renewed, the coordinator's expiry sweep re-queues its claim, and the
    surviving worker finishes the grid.
 3. The same sweep runs again: everything resumes from the store, nothing is
    recomputed (asserted via stored-file mtimes).
@@ -15,13 +19,14 @@ Exercises the full multi-host runtime on one machine:
    checked byte-identical against serial execution.
 
 The script exits non-zero if any of those properties is violated, so CI can
-gate on it (the ``bench-distributed`` job).
+gate on it (the ``bench-distributed`` and ``bench-distributed-tcp`` jobs).
 
 Usage::
 
     PYTHONPATH=src python examples/distributed_sweep.py [store_dir]
 
 Environment: ``REPRO_BENCH_WORKERS`` (local workers, default 2),
+``REPRO_BENCH_TRANSPORT`` (``file``/``tcp``, default ``file``),
 ``REPRO_BENCH_STORE`` (used when no ``store_dir`` argument is given).
 """
 
@@ -66,22 +71,27 @@ def result_json(result) -> str:
 
 
 def kill_one_worker_mid_sweep(
-    runner: ParallelExperimentRunner, queue_dir: Path, coordinator: threading.Thread
+    runner: ParallelExperimentRunner, coordinator: threading.Thread
 ) -> bool:
     """Wait until every local worker holds a claim and one task is done, then
-    SIGKILL one worker.  Returns whether a worker was killed."""
-    done_dir, claimed_dir = queue_dir / "done", queue_dir / "claimed"
+    SIGKILL one worker.  Returns whether a worker was killed.
+
+    Progress is read through the coordinator's queue transport handle
+    (``runner._distributed_queue``), which works identically for the file
+    queue (directory counts) and the TCP server (in-memory counts).
+    """
     deadline = time.monotonic() + 600
     while time.monotonic() < deadline and coordinator.is_alive():
+        queue = runner._distributed_queue
         procs = [p for p in runner._distributed_procs if p.poll() is None]
-        busy = len(list(claimed_dir.glob("*.task"))) if claimed_dir.is_dir() else 0
-        finished = len(list(done_dir.glob("*.json"))) if done_dir.is_dir() else 0
-        if len(procs) >= 2 and busy >= len(procs) and finished >= 1:
-            victim = procs[0]
-            victim.kill()  # SIGKILL: no cleanup, its claim's heartbeat just stops
-            print(f"killed worker pid {victim.pid} mid-sweep "
-                  f"({finished} tasks done, {busy} claims held)")
-            return True
+        if queue is not None and len(procs) >= 2:
+            stats = queue.stats()
+            if stats.claimed >= len(procs) and stats.done >= 1:
+                victim = procs[0]
+                victim.kill()  # SIGKILL: no cleanup, its lease renewals just stop
+                print(f"killed worker pid {victim.pid} mid-sweep "
+                      f"({stats.done} tasks done, {stats.claimed} claims held)")
+                return True
         time.sleep(0.05)
     return False
 
@@ -92,6 +102,8 @@ def main(store_dir: str | None = None) -> None:
             prefix="repro-distributed-"
         )
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    transport = os.environ.get("REPRO_BENCH_TRANSPORT", "file")
+    assert transport in ("file", "tcp"), f"unknown REPRO_BENCH_TRANSPORT {transport!r}"
     context = job_context(scale=0.25)
     splits = demo_splits(context.workload.name)
     runner = ParallelExperimentRunner(
@@ -99,16 +111,20 @@ def main(store_dir: str | None = None) -> None:
         context.workload,
         experiment_config=EXPERIMENT_CONFIG,
         # A short lease keeps the dead worker's re-queue snappy in the demo; a
-        # real sweep would leave the 60 s default.
+        # real sweep would leave the 60 s default.  The tcp transport binds an
+        # ephemeral coordinator port: workers share no directory with it.
         runtime_config=distributed_runtime(
-            store_dir, workers=workers, shard_count=4, lease_timeout_s=3.0
+            store_dir,
+            workers=workers,
+            shard_count=4,
+            lease_timeout_s=3.0,
+            queue_url="tcp://127.0.0.1:0" if transport == "tcp" else None,
         ),
     )
     store = runner.result_store
-    queue_dir = store.root / "queue"
     tasks = runner.tasks_for(METHODS, splits, repeats=2)
     print(f"running {len(tasks)} tasks on {workers} queue workers "
-          f"(sharded store: {store_dir}) ...")
+          f"({transport} transport, sharded store: {store_dir}) ...")
 
     # --- sweep 1: coordinator in a thread, one worker killed mid-sweep -----
     outcome: dict[str, list] = {}
@@ -117,7 +133,7 @@ def main(store_dir: str | None = None) -> None:
     )
     start = time.perf_counter()
     coordinator.start()
-    killed = kill_one_worker_mid_sweep(runner, queue_dir, coordinator)
+    killed = kill_one_worker_mid_sweep(runner, coordinator)
     coordinator.join(timeout=1800)
     assert not coordinator.is_alive(), "coordinator did not finish"
     assert "results" in outcome, "sweep produced no results"
@@ -129,6 +145,15 @@ def main(store_dir: str | None = None) -> None:
     print(f"first sweep survived the kill in {time.perf_counter() - start:.1f} s; "
           f"{runner._distributed_requeued} expired claim(s) re-queued; {store.describe()}")
     assert runner._distributed_requeued >= 1, "the dead worker's claim was never re-queued"
+    if transport == "tcp":
+        # No shared queue directory exists, and every result entered the store
+        # through the coordinator's upload sink, not through the workers.
+        assert not (store.root / "queue").exists(), "tcp sweep created a queue directory"
+        assert store.stored_count >= len(tasks), (
+            "coordinator-side store counters show the workers wrote the store directly"
+        )
+        print(f"tcp transport: coordinator persisted {store.stored_count} uploaded result(s); "
+              "no queue/store directory was shared with any worker")
 
     # --- sweep 2: full resume, nothing recomputed --------------------------
     files_before = {path: path.stat().st_mtime_ns for path in store.completed_files()}

@@ -281,8 +281,9 @@ class RuntimeConfig:
         executor_kind: ``"thread"`` (default), ``"process"``, ``"serial"`` or
             ``"distributed"``.  Thread workers share the read-only table data;
             process workers pay a pickling cost per task but sidestep the GIL;
-            distributed execution fans tasks out through a file-based work
-            queue that any number of hosts sharing a filesystem can drain.
+            distributed execution fans tasks out through a work queue — file
+            based (hosts sharing a filesystem) or TCP (no sharing at all),
+            selected by ``queue_url``.
         plan_cache_entries: capacity of the shared :class:`~repro.runtime.plan_cache.PlanCache`
             (``0`` disables plan caching).
         store_dir: directory of the resumable JSON result store; ``None``
@@ -296,9 +297,20 @@ class RuntimeConfig:
             multi-host writes); ``0`` keeps the flat single-directory layout.
         queue_dir: work-queue directory of distributed execution; ``None``
             defaults to ``<store root>/queue``.
+        queue_url: transport of the distributed work queue.  ``None`` or a
+            ``file://`` url uses the shared-filesystem queue (``file://<dir>``
+            overrides ``queue_dir``); ``tcp://<host>:<port>`` starts a
+            coordinator-side TCP queue server instead (port ``0`` binds an
+            ephemeral port), so workers need **no** filesystem in common with
+            the coordinator — they claim over the socket and upload results
+            back with their acks.
         lease_timeout_s: distributed claim lease — a claimed task whose worker
             stopped heart-beating for this long is re-queued for another
             worker (dead-worker recovery).
+        task_retries: how many times the distributed coordinator re-queues a
+            *failed* task (transient errors: OOM-killed imports, flaky I/O)
+            before the sweep is aborted; the final error reports the attempt
+            count.  ``0`` fails the sweep on the first failure marker.
     """
 
     workers: int = 1
@@ -308,7 +320,9 @@ class RuntimeConfig:
     skip_existing: bool = True
     shard_count: int = 0
     queue_dir: str | None = None
+    queue_url: str | None = None
     lease_timeout_s: float = 60.0
+    task_retries: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -323,6 +337,19 @@ class RuntimeConfig:
             raise ValueError("RuntimeConfig.shard_count must be >= 0")
         if self.lease_timeout_s <= 0:
             raise ValueError("RuntimeConfig.lease_timeout_s must be positive")
+        if self.task_retries < 0:
+            raise ValueError("RuntimeConfig.task_retries must be >= 0")
+        if self.queue_url is not None:
+            # Validate with the one real parser (lazy import: repro.runtime
+            # depends on this module at class-definition time, not vice versa)
+            # so malformed urls fail at construction, not mid-sweep.
+            from repro.errors import ExperimentError
+            from repro.runtime.workqueue import parse_queue_url
+
+            try:
+                parse_queue_url(self.queue_url)
+            except ExperimentError as exc:
+                raise ValueError(f"invalid RuntimeConfig.queue_url: {exc}") from exc
 
     def with_overrides(self, **overrides: Any) -> "RuntimeConfig":
         return replace(self, **overrides)

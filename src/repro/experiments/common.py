@@ -119,16 +119,24 @@ def distributed_runtime(
     workers: int = 2,
     shard_count: int = 4,
     queue_dir: str | os.PathLike | None = None,
+    queue_url: str | None = None,
     lease_timeout_s: float = 60.0,
+    task_retries: int = 1,
 ) -> RuntimeConfig:
-    """Runtime configuration of a multi-host sweep over a shared filesystem.
+    """Runtime configuration of a multi-host distributed sweep.
 
     The sweep writes a :class:`~repro.runtime.result_store.ShardedResultStore`
-    under ``store_dir`` (so concurrent writers never contend on one
-    directory) and coordinates through a work queue, by default at
-    ``<store_dir>/queue``.  ``workers`` local worker processes are launched by
-    the coordinator; start more with ``python -m repro.runtime.worker`` on any
-    host that mounts the store.
+    under ``store_dir`` (so concurrent writers never contend on one directory)
+    and coordinates through a work queue.  By default that queue is file based
+    at ``<store_dir>/queue`` and every worker host must mount the store's
+    filesystem; pass ``queue_url="tcp://host:port"`` (port ``0`` for an
+    ephemeral port) to serve the queue over TCP instead, in which case workers
+    share *nothing* with the coordinator and results are uploaded back over
+    the socket into the coordinator-local store.  ``workers`` local worker
+    processes are launched by the coordinator; start more with
+    ``python -m repro.runtime.worker <queue dir | tcp://...>`` on other hosts.
+    Failed tasks are retried up to ``task_retries`` times before the sweep
+    aborts.
     """
     return RuntimeConfig(
         workers=workers,
@@ -136,5 +144,7 @@ def distributed_runtime(
         store_dir=str(store_dir),
         shard_count=shard_count,
         queue_dir=None if queue_dir is None else str(queue_dir),
+        queue_url=queue_url,
         lease_timeout_s=lease_timeout_s,
+        task_retries=task_retries,
     )

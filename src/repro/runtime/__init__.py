@@ -12,11 +12,16 @@ scales with the hardware:
   :class:`ShardedResultStore` that partitions results over N shard
   directories for contention-free multi-host writes (with ``merge`` /
   ``compact`` back to a flat store).
-* :mod:`repro.runtime.workqueue` — the file-based :class:`WorkQueue`
-  (atomic-rename claims, lease heartbeats, dead-worker re-queue) that
-  coordinates distributed sweeps over a shared filesystem.
+* :mod:`repro.runtime.workqueue` — the :class:`QueueTransport` protocol and
+  its file-based implementation, :class:`WorkQueue` (atomic-rename claims,
+  lease heartbeats against the filesystem's own clock, dead-worker re-queue),
+  coordinating distributed sweeps over a shared filesystem.
+* :mod:`repro.runtime.netqueue` — the TCP implementation: a coordinator-side
+  :class:`QueueServer` plus the :class:`NetWorkQueue` worker client, with
+  results uploaded back in the ack frame — no shared filesystem required.
 * :mod:`repro.runtime.worker` — the ``python -m repro.runtime.worker``
-  claim-execute-ack loop run on each participating host.
+  claim-execute-ack loop run on each participating host, against either
+  transport.
 * :mod:`repro.runtime.parallel` — the :class:`ParallelExperimentRunner` that
   fans the (method × split × seed) grid over a ``concurrent.futures`` pool —
   or, with ``executor_kind="distributed"``, over the work queue — with
@@ -32,9 +37,19 @@ from repro.runtime.fingerprint import (
     stable_hash,
     stable_seed,
 )
+from repro.runtime.netqueue import NetWorkQueue, QueueServer
 from repro.runtime.plan_cache import CacheStats, PlanCache
 from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
-from repro.runtime.workqueue import QueueStats, TaskClaim, WorkQueue
+from repro.runtime.workqueue import (
+    QueueAddress,
+    QueueStats,
+    QueueTransport,
+    ResultUpload,
+    TaskClaim,
+    WorkerQueueTransport,
+    WorkQueue,
+    parse_queue_url,
+)
 
 
 def __getattr__(name: str):
@@ -50,15 +65,22 @@ def __getattr__(name: str):
 __all__ = [
     "CacheStats",
     "ExperimentTask",
+    "NetWorkQueue",
     "ParallelExperimentRunner",
     "SpecTaskPayload",
     "PlanCache",
+    "QueueAddress",
+    "QueueServer",
     "QueueStats",
+    "QueueTransport",
     "ResultStore",
+    "ResultUpload",
     "ShardedResultStore",
     "TaskClaim",
     "TaskKey",
     "WorkQueue",
+    "WorkerQueueTransport",
+    "parse_queue_url",
     "canonical_query_text",
     "config_fingerprint",
     "hints_fingerprint",

@@ -1,0 +1,408 @@
+"""TCP transport of the distributed work queue: no shared filesystem needed.
+
+The file-based :class:`~repro.runtime.workqueue.WorkQueue` assumes every
+worker mounts the coordinator's filesystem.  This module drops that
+assumption: the coordinator runs a :class:`QueueServer` — the in-memory queue
+state behind a threaded TCP server — and workers talk to it through a
+:class:`NetWorkQueue` client.  Finished results travel *back* over the socket
+as a :class:`~repro.runtime.workqueue.ResultUpload` attached to the ack
+frame, and the server persists them into the coordinator's local (possibly
+sharded) result store.  Workers therefore need no path in common with the
+coordinator: a sweep can span hosts that share nothing but a network route.
+
+Wire protocol — one request frame and one response frame per connection::
+
+    MAGIC (2 bytes, b"RQ") | length (4 bytes, big endian) | pickle(payload)
+
+Leases are tracked server-side with ``time.monotonic()``: claim, renew and
+expiry all read one clock on one host, so the cross-host clock-skew hazards
+of mtime-based leases cannot arise here by construction.
+
+Frames are pickled because task payloads are arbitrary Python objects
+(:class:`~repro.runtime.parallel.SpecTaskPayload`), exactly as the file queue
+pickles its task files.  Like any pickle-over-socket protocol this trusts the
+network — run sweeps on a private interface, as you would for ``Dask`` or a
+``multiprocessing`` manager.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import socketserver
+import struct
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.runtime.result_store import ResultStore
+from repro.runtime.workqueue import QueueStats, ResultUpload, TaskClaim
+
+#: Frame header: magic + payload length.
+MAGIC = b"RQ"
+_HEADER = struct.Struct(">2sI")
+
+#: Hard bound on one frame; a SpecTaskPayload or result dict is kilobytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Default client-side socket timeout (connect + one request/response pair).
+CLIENT_TIMEOUT_S = 30.0
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: object) -> None:
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ExperimentError(f"queue frame of {len(blob)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_HEADER.pack(MAGIC, len(blob)) + blob)
+
+
+def recv_frame(sock: socket.socket) -> object:
+    magic, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if magic != MAGIC:
+        raise ConnectionError(f"bad queue frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"oversized queue frame ({length} bytes)")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+@dataclass
+class _Lease:
+    """One claimed task: who holds it and when the lease runs out (monotonic)."""
+
+    worker_id: str
+    deadline: float
+    payload: object
+
+
+class _FrameHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised through the client
+        try:
+            request = recv_frame(self.request)
+        except (ConnectionError, OSError, pickle.UnpicklingError):
+            return
+        try:
+            response = self.server.queue._dispatch(request)
+        except Exception as exc:  # surface server-side errors to the caller
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            send_frame(self.request, response)
+        except OSError:
+            pass
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class QueueServer:
+    """Coordinator-side work queue served over TCP.
+
+    Implements the full :class:`~repro.runtime.workqueue.QueueTransport`
+    surface: the coordinator calls the methods directly (in process), workers
+    reach the same state through :class:`NetWorkQueue`.  All state lives in
+    memory under one lock; results uploaded with acks are persisted into
+    ``result_store`` before the task is marked done, so a task is only ever
+    "done" once its result is safely on the coordinator's disk.
+    """
+
+    #: Net workers share no filesystem: acks must carry the result.
+    wants_results = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout_s: float = 60.0,
+        result_store: ResultStore | None = None,
+    ) -> None:
+        if lease_timeout_s <= 0:
+            raise ExperimentError("QueueServer.lease_timeout_s must be positive")
+        self.lease_timeout_s = float(lease_timeout_s)
+        self.result_store = result_store
+        self._lock = threading.Lock()
+        self._pending: dict[str, object] = {}
+        self._claims: dict[str, _Lease] = {}
+        self._done: set[str] = set()
+        self._failed: dict[str, str] = {}
+        self._stop = False
+        self._server = _ThreadedTCPServer((host, port), _FrameHandler)
+        self._server.queue = self
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-queue-server", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        """The ``tcp://host:port`` address workers connect to."""
+        host = "127.0.0.1" if self.host in ("0.0.0.0", "::") else self.host
+        return f"tcp://{host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=10)
+
+    # ------------------------------------------------------------------ coordinator
+    def enqueue(self, task_id: str, payload: object) -> None:
+        with self._lock:
+            self._pending[task_id] = payload
+
+    def requeue_expired(self) -> list[str]:
+        """Re-queue every claim whose lease deadline (monotonic) has passed."""
+        now = time.monotonic()
+        with self._lock:
+            expired = sorted(tid for tid, lease in self._claims.items() if lease.deadline < now)
+            for task_id in expired:
+                self._pending[task_id] = self._claims.pop(task_id).payload
+        return expired
+
+    def discard_failure(self, task_id: str) -> bool:
+        with self._lock:
+            return self._failed.pop(task_id, None) is not None
+
+    def reset(self) -> int:
+        with self._lock:
+            removed = (
+                len(self._pending) + len(self._claims) + len(self._done) + len(self._failed)
+            )
+            self._pending.clear()
+            self._claims.clear()
+            self._done.clear()
+            self._failed.clear()
+            self._stop = False
+        return removed
+
+    def write_stop(self) -> None:
+        self._stop = True
+
+    def clear_stop(self) -> None:
+        self._stop = False
+
+    def stop_requested(self) -> bool:
+        return self._stop
+
+    # ------------------------------------------------------------------ worker ops
+    def claim(self, worker_id: str) -> TaskClaim | None:
+        with self._lock:
+            if not self._pending:
+                return None
+            task_id = min(self._pending)  # file-queue parity: lowest id first
+            payload = self._pending.pop(task_id)
+            self._claims[task_id] = _Lease(
+                worker_id=worker_id,
+                deadline=time.monotonic() + self.lease_timeout_s,
+                payload=payload,
+            )
+        return TaskClaim(task_id=task_id, payload=payload)
+
+    def renew(self, claim: TaskClaim) -> None:
+        self._renew_id(claim.task_id)
+
+    def _renew_id(self, task_id: str) -> None:
+        with self._lock:
+            lease = self._claims.get(task_id)
+            if lease is not None:
+                lease.deadline = time.monotonic() + self.lease_timeout_s
+
+    def ack(self, claim: TaskClaim, worker_id: str, result: ResultUpload | None = None) -> None:
+        self._ack_id(claim.task_id, worker_id, result)
+
+    def _ack_id(self, task_id: str, worker_id: str, result: ResultUpload | None) -> None:
+        if result is not None and self.result_store is not None:
+            # Persist before marking done: a "done" task whose result was lost
+            # would make the coordinator's final store load fail.  Store writes
+            # are atomic, and double uploads after a lease expiry rewrite the
+            # same bytes, so no lock is needed around the filesystem write.
+            self.result_store.save_raw(result.key, result.result, result.fingerprint)
+        with self._lock:
+            self._claims.pop(task_id, None)
+            # A zombie worker may ack a task that was already re-queued (and
+            # possibly re-claimed): the result is identical either way, so the
+            # ack wins and the duplicate pending/claimed entry is dropped.
+            self._pending.pop(task_id, None)
+            self._done.add(task_id)
+
+    def fail(self, claim: TaskClaim, worker_id: str, error: str) -> None:
+        self._fail_id(claim.task_id, worker_id, error)
+
+    def _fail_id(self, task_id: str, worker_id: str, error: str) -> None:
+        with self._lock:
+            self._claims.pop(task_id, None)
+            self._failed[task_id] = error
+
+    # ------------------------------------------------------------------ inspection
+    def pending_ids(self) -> set[str]:
+        with self._lock:
+            return set(self._pending)
+
+    def claimed_ids(self) -> set[str]:
+        with self._lock:
+            return set(self._claims)
+
+    def done_ids(self) -> set[str]:
+        with self._lock:
+            return set(self._done)
+
+    def failed_tasks(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._failed)
+
+    def has_live_claims(self) -> bool:
+        now = time.monotonic()
+        with self._lock:
+            return any(lease.deadline >= now for lease in self._claims.values())
+
+    def stats(self) -> QueueStats:
+        with self._lock:
+            return QueueStats(
+                pending=len(self._pending),
+                claimed=len(self._claims),
+                done=len(self._done),
+                failed=len(self._failed),
+            )
+
+    def describe(self) -> str:
+        return f"QueueServer({self.url}, {self.stats().describe()})"
+
+    # ------------------------------------------------------------------ wire
+    def _dispatch(self, request: object) -> dict:
+        if not isinstance(request, dict) or "op" not in request:
+            return {"ok": False, "error": "malformed queue request"}
+        op = request["op"]
+        if op == "claim":
+            claim = self.claim(str(request.get("worker_id", "unknown")))
+            if claim is None:
+                return {"ok": True, "task_id": None, "payload": None}
+            return {"ok": True, "task_id": claim.task_id, "payload": claim.payload}
+        if op == "renew":
+            self._renew_id(str(request.get("task_id", "")))
+            return {"ok": True}
+        if op == "ack":
+            result = request.get("result")
+            if result is not None and not isinstance(result, ResultUpload):
+                return {"ok": False, "error": "ack result must be a ResultUpload"}
+            self._ack_id(
+                str(request.get("task_id", "")), str(request.get("worker_id", "unknown")), result
+            )
+            return {"ok": True}
+        if op == "fail":
+            self._fail_id(
+                str(request.get("task_id", "")),
+                str(request.get("worker_id", "unknown")),
+                str(request.get("error", "unknown error")),
+            )
+            return {"ok": True}
+        if op == "poll":
+            with self._lock:
+                return {"ok": True, "stop": self._stop, "pending": len(self._pending)}
+        if op == "stats":
+            stats = self.stats()
+            return {
+                "ok": True,
+                "pending": stats.pending,
+                "claimed": stats.claimed,
+                "done": stats.done,
+                "failed": stats.failed,
+            }
+        return {"ok": False, "error": f"unknown queue op {op!r}"}
+
+
+class NetWorkQueue:
+    """Worker-side client of a :class:`QueueServer` (one frame per connection).
+
+    Implements the :class:`~repro.runtime.workqueue.WorkerQueueTransport`
+    surface.  A coordinator that stopped answering is treated as a finished
+    sweep: ``claim`` returns ``None`` and ``stop_requested`` returns ``True``,
+    so orphaned workers drain out instead of erroring or polling forever —
+    any half-finished task's lease has died with the server anyway.
+    """
+
+    wants_results = True
+
+    def __init__(self, url: str, timeout_s: float = CLIENT_TIMEOUT_S) -> None:
+        from repro.runtime.workqueue import parse_queue_url
+
+        address = parse_queue_url(url)
+        if address.scheme != "tcp":
+            raise ExperimentError(f"NetWorkQueue needs a tcp:// url, got {url!r}")
+        self.host, self.port = address.host, address.port
+        self.timeout_s = timeout_s
+
+    def _request(self, request: dict) -> dict:
+        with socket.create_connection((self.host, self.port), timeout=self.timeout_s) as sock:
+            send_frame(sock, request)
+            response = recv_frame(sock)
+        if not isinstance(response, dict) or not response.get("ok"):
+            error = response.get("error", "malformed response") if isinstance(response, dict) else response
+            raise ExperimentError(f"queue server at {self.host}:{self.port} rejected {request.get('op')!r}: {error}")
+        return response
+
+    def claim(self, worker_id: str) -> TaskClaim | None:
+        try:
+            response = self._request({"op": "claim", "worker_id": worker_id})
+        except OSError:
+            return None  # server gone; stop_requested() tells the loop to exit
+        if response["task_id"] is None:
+            return None
+        return TaskClaim(task_id=response["task_id"], payload=response["payload"])
+
+    def renew(self, claim: TaskClaim) -> None:
+        try:
+            self._request({"op": "renew", "task_id": claim.task_id})
+        except (OSError, ExperimentError):
+            pass  # a missed heartbeat at worst expires the lease
+
+    def ack(self, claim: TaskClaim, worker_id: str, result: ResultUpload | None = None) -> None:
+        try:
+            self._request(
+                {"op": "ack", "task_id": claim.task_id, "worker_id": worker_id, "result": result}
+            )
+        except OSError:
+            pass  # server gone: the lease expires and someone else re-runs it
+
+    def fail(self, claim: TaskClaim, worker_id: str, error: str) -> None:
+        try:
+            self._request(
+                {"op": "fail", "task_id": claim.task_id, "worker_id": worker_id, "error": error}
+            )
+        except OSError:
+            pass
+
+    def stop_requested(self) -> bool:
+        try:
+            return bool(self._request({"op": "poll"})["stop"])
+        except OSError:
+            return True  # unreachable coordinator == sweep over for this worker
+
+    def stats(self) -> QueueStats:
+        response = self._request({"op": "stats"})
+        return QueueStats(
+            pending=response["pending"],
+            claimed=response["claimed"],
+            done=response["done"],
+            failed=response["failed"],
+        )
+
+    def describe(self) -> str:
+        return f"NetWorkQueue(tcp://{self.host}:{self.port})"

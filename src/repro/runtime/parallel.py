@@ -33,15 +33,22 @@ resumable: completed tasks are skipped (PostBOUND-style ``skip_existing``) and
 fresh results are persisted as they arrive.
 
 * **Distributed execution** — ``executor_kind="distributed"`` pushes the same
-  :class:`SpecTaskPayload`\\ s through a file-based
-  :class:`~repro.runtime.workqueue.WorkQueue` instead of a process pool.  The
-  coordinator enqueues claimable task files, launches ``workers`` local worker
-  processes (``python -m repro.runtime.worker``), and any number of additional
-  workers on other hosts sharing the store's filesystem can drain the same
-  queue.  Workers persist results into the shared — typically
-  :class:`~repro.runtime.result_store.ShardedResultStore` — store; dead
-  workers' claims are re-queued after a lease timeout, and the coordinator
-  assembles the grid-ordered results from the store once every task is acked.
+  :class:`SpecTaskPayload`\\ s through a work-queue transport instead of a
+  process pool.  With the default file transport
+  (:class:`~repro.runtime.workqueue.WorkQueue`) the coordinator enqueues
+  claimable task files, launches ``workers`` local worker processes
+  (``python -m repro.runtime.worker``), and any number of additional workers
+  on other hosts sharing the store's filesystem can drain the same queue,
+  persisting results into the shared — typically
+  :class:`~repro.runtime.result_store.ShardedResultStore` — store.  With
+  ``RuntimeConfig.queue_url = "tcp://host:port"`` the coordinator instead
+  serves the queue over a socket (:class:`~repro.runtime.netqueue.QueueServer`)
+  and workers need no filesystem in common with it: they claim over TCP and
+  upload finished results back with their acks, which the coordinator persists
+  into its local store.  Either way, dead workers' claims are re-queued after
+  a lease timeout, failed tasks are retried up to ``task_retries`` times, and
+  the coordinator assembles grid-ordered results from the store once every
+  task is acked.
 """
 
 from __future__ import annotations
@@ -64,7 +71,7 @@ from repro.errors import ExperimentError
 from repro.runtime.fingerprint import stable_seed
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
-from repro.runtime.workqueue import WorkQueue
+from repro.runtime.workqueue import QueueAddress, QueueTransport, WorkQueue, parse_queue_url
 from repro.storage.database import Database
 from repro.storage.registry import get_process_registry, resolve_database
 from repro.storage.spec import DatabaseSpec
@@ -168,16 +175,8 @@ def _payload_store(payload: SpecTaskPayload) -> ResultStore | None:
     return ResultStore(payload.store_root, skip_existing=payload.skip_existing)
 
 
-def execute_spec_payload(payload: SpecTaskPayload) -> MethodRunResult:
-    """Worker-side entry point of spec-based dispatch (module level: picklable).
-
-    The database comes out of the worker's process registry — built once on
-    the first task, reused by every later task of the same spec (and, under a
-    forking start method, inherited from the parent without any rebuild).
-    The workload is likewise rebuilt once per process and reused.  Both the
-    process-pool executor and the distributed queue worker funnel through
-    this function, so every executor kind runs tasks identically.
-    """
+def _execute_payload(payload: SpecTaskPayload) -> tuple[MethodRunResult, "ParallelExperimentRunner"]:
+    """Run one payload in this process; returns the result and its runner."""
     database = get_process_registry().get(payload.spec)
     workload = _worker_workload(payload, database)
     store = _payload_store(payload)
@@ -193,7 +192,71 @@ def execute_spec_payload(payload: SpecTaskPayload) -> MethodRunResult:
         ),
         result_store=store,
     )
-    return runner._run_or_resume(payload.task)
+    return runner._run_or_resume(payload.task), runner
+
+
+def execute_spec_payload(payload: SpecTaskPayload) -> MethodRunResult:
+    """Worker-side entry point of spec-based dispatch (module level: picklable).
+
+    The database comes out of the worker's process registry — built once on
+    the first task, reused by every later task of the same spec (and, under a
+    forking start method, inherited from the parent without any rebuild).
+    The workload is likewise rebuilt once per process and reused.  Both the
+    process-pool executor and the distributed queue worker funnel through
+    this function, so every executor kind runs tasks identically.
+    """
+    result, _ = _execute_payload(payload)
+    return result
+
+
+def execute_spec_payload_with_identity(payload: SpecTaskPayload) -> tuple[MethodRunResult, TaskKey, str]:
+    """Run one payload and return ``(result, task key, context fingerprint)``.
+
+    Used by queue transports that upload results to the coordinator
+    (``wants_results``): the worker computes the key and fingerprint from its
+    own deterministic rebuild — exactly the values a shared-store worker would
+    save under — and ships all three back in the ack frame.
+    """
+    result, runner = _execute_payload(payload)
+    task = payload.task
+    return result, runner.task_key(task), runner.task_fingerprint(task)
+
+
+def reconcile_failed_tasks(
+    queue: QueueTransport,
+    remaining: set[str],
+    payloads: dict[str, object],
+    retries_used: dict[str, int],
+    task_retries: int,
+) -> list[str]:
+    """Apply the bounded-retry policy to this poll round's failure markers.
+
+    Failed tasks still within their budget are re-queued (marker discarded,
+    payload enqueued again) and returned; one permanent (transient) failure
+    must not abort a multi-hour sweep.  A task that has already been retried
+    ``task_retries`` times raises instead, and the error reports how many
+    attempts were made.
+    """
+    failed = {tid: msg for tid, msg in queue.failed_tasks().items() if tid in remaining}
+    if not failed:
+        return []
+    exhausted = {
+        tid: msg for tid, msg in failed.items() if retries_used.get(tid, 0) >= task_retries
+    }
+    if exhausted:
+        task_id, message = sorted(exhausted.items())[0]
+        attempts = retries_used.get(task_id, 0) + 1
+        raise ExperimentError(
+            f"{len(exhausted)} distributed task(s) failed permanently; first ({task_id}) "
+            f"failed after {attempts} attempt(s): {message}"
+        )
+    retried: list[str] = []
+    for task_id in sorted(failed):
+        retries_used[task_id] = retries_used.get(task_id, 0) + 1
+        queue.discard_failure(task_id)
+        queue.enqueue(task_id, payloads[task_id])
+        retried.append(task_id)
+    return retried
 
 
 class ParallelExperimentRunner:
@@ -239,6 +302,9 @@ class ParallelExperimentRunner:
         self._distributed_procs: list[subprocess.Popen] = []
         #: Number of expired claims the most recent distributed sweep re-queued.
         self._distributed_requeued = 0
+        #: Coordinator-side queue transport of the most recent distributed
+        #: sweep (observability: live ``stats()`` for progress reporting).
+        self._distributed_queue: QueueTransport | None = None
 
     # ------------------------------------------------------------------ grid
     def tasks_for(
@@ -384,15 +450,47 @@ class ParallelExperimentRunner:
         return ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-task")
 
     # ------------------------------------------------------------------ distributed
+    def _open_coordinator_queue(
+        self, store: ResultStore
+    ) -> tuple[QueueTransport, str, Path, bool]:
+        """Open the coordinator-side transport named by the runtime config.
+
+        Returns ``(queue, worker_target, log_dir, detached)``: the transport,
+        the address string handed to spawned workers, where local worker logs
+        go, and whether payloads must be *detached* from the coordinator's
+        filesystem (TCP transport: workers upload results instead of writing a
+        shared store).
+        """
+        config = self.runtime_config
+        if config.queue_url is not None:
+            address = parse_queue_url(config.queue_url)
+        else:
+            address = QueueAddress(scheme="file", path=config.queue_dir)
+        if address.scheme == "tcp":
+            # Imported lazily: file-transport sweeps never need the server.
+            from repro.runtime.netqueue import QueueServer
+
+            server = QueueServer(
+                host=address.host or "127.0.0.1",
+                port=address.port or 0,
+                lease_timeout_s=config.lease_timeout_s,
+                result_store=store,
+            )
+            return server, server.url, store.root / "worker-logs", True
+        queue_root = Path(address.path) if address.path is not None else store.root / "queue"
+        queue = WorkQueue(queue_root, lease_timeout_s=config.lease_timeout_s)
+        return queue, str(queue_root), queue_root / "workers", False
+
     def _run_distributed(self, tasks: list[ExperimentTask]) -> list[MethodRunResult]:
-        """Coordinate one sweep over the file-based work queue.
+        """Coordinate one sweep over the work queue (file or TCP transport).
 
         Pending tasks (not already in the store) are enqueued as claimable
-        payload files, ``workers`` local worker processes are launched, and
-        the coordinator polls the queue — re-queuing expired leases of dead
-        workers — until every enqueued task is acked.  Results are then
-        assembled from the store in grid order, so the output is identical to
-        every other executor kind.
+        payloads, ``workers`` local worker processes are launched, and the
+        coordinator polls the queue — re-queuing expired leases of dead
+        workers and retrying failed tasks within ``task_retries`` — until
+        every enqueued task is acked.  Results are then assembled from the
+        store in grid order, so the output is identical to every other
+        executor kind.
         """
         if not tasks:
             return []
@@ -405,41 +503,49 @@ class ParallelExperimentRunner:
         store = self.result_store
         if store is None:
             raise ExperimentError(
-                "distributed execution requires a result store (set RuntimeConfig.store_dir "
-                "to a directory on the filesystem the workers share)"
+                "distributed execution requires a result store (set RuntimeConfig.store_dir; "
+                "with the file queue the workers must share its filesystem, with a tcp:// "
+                "queue_url it is coordinator-local)"
             )
         config = self.runtime_config
-        queue_root = Path(config.queue_dir) if config.queue_dir is not None else store.root / "queue"
-        queue = WorkQueue(queue_root, lease_timeout_s=config.lease_timeout_s)
-        # The coordinator owns the queue directory: drop whatever a crashed
-        # earlier sweep left behind (orphan tasks would be pointlessly
-        # re-executed; stale ack markers accumulate forever).  Results are
-        # unaffected — they live in the store, and completed tasks are skipped
-        # below before anything is enqueued.
-        queue.reset()
+        queue, worker_target, log_dir, detached = self._open_coordinator_queue(store)
+        self._distributed_queue = queue
         self._distributed_requeued = 0
-
-        keyed = [(task, self.task_key(task), self.task_fingerprint(task)) for task in tasks]
-        # A sweep-unique id prefix keeps this run's ack markers apart from any
-        # earlier sweep that used the same queue directory.
-        sweep_id = os.urandom(4).hex()
-        enqueued: set[str] = set()
-        for index, (task, key, fingerprint) in enumerate(keyed):
-            if store.skip_existing and store.exists(key, fingerprint):
-                continue  # resume: already stored, never hits the queue
-            task_id = f"{sweep_id}-{index:04d}"
-            queue.enqueue(task_id, self.spec_payload(task))
-            enqueued.add(task_id)
-
         procs: list[subprocess.Popen] = []
-        if enqueued:
-            procs = [
-                self._spawn_worker(queue_root, index, config.lease_timeout_s)
-                for index in range(min(config.workers, len(enqueued)))
-            ]
-        self._distributed_procs = procs
         try:
-            self._await_queue(queue, enqueued, procs)
+            # The coordinator owns the queue: drop whatever a crashed earlier
+            # sweep left behind (orphan tasks would be pointlessly re-executed;
+            # stale ack markers and .tmp orphans accumulate forever).  Results
+            # are unaffected — they live in the store, and completed tasks are
+            # skipped below before anything is enqueued.
+            queue.reset()
+
+            keyed = [(task, self.task_key(task), self.task_fingerprint(task)) for task in tasks]
+            # A sweep-unique id prefix keeps this run's ack markers apart from
+            # any earlier sweep that used the same queue directory.
+            sweep_id = os.urandom(4).hex()
+            payloads: dict[str, SpecTaskPayload] = {}
+            for index, (task, key, fingerprint) in enumerate(keyed):
+                if store.skip_existing and store.exists(key, fingerprint):
+                    continue  # resume: already stored, never hits the queue
+                payload = self.spec_payload(task)
+                if detached:
+                    # TCP workers share no filesystem with the coordinator:
+                    # strip the store paths so they never try to open (and
+                    # create) a store of their own — the transport carries the
+                    # result back instead.
+                    payload = replace(payload, store_root=None, store_shards=0)
+                payloads[f"{sweep_id}-{index:04d}"] = payload
+            for task_id, payload in payloads.items():
+                queue.enqueue(task_id, payload)
+
+            if payloads:
+                procs = [
+                    self._spawn_worker(worker_target, index, config.lease_timeout_s, log_dir)
+                    for index in range(min(config.workers, len(payloads)))
+                ]
+            self._distributed_procs = procs
+            self._await_queue(queue, payloads, procs, log_dir)
         finally:
             queue.write_stop()
             for proc in procs:
@@ -448,24 +554,29 @@ class ParallelExperimentRunner:
                 except subprocess.TimeoutExpired:  # pragma: no cover - defensive
                     proc.kill()
                     proc.wait()
+            # Close only after every local worker exited: remote workers that
+            # poll a vanished TCP server treat it as a stop request anyway.
+            queue.close()
         if isinstance(store, ShardedResultStore):
             store.refresh_manifest()
         return [store.load(key, fingerprint) for _, key, fingerprint in keyed]
 
     def _await_queue(
-        self, queue: WorkQueue, task_ids: set[str], procs: list[subprocess.Popen]
+        self,
+        queue: QueueTransport,
+        payloads: dict[str, SpecTaskPayload],
+        procs: list[subprocess.Popen],
+        log_dir: Path,
     ) -> None:
-        remaining = set(task_ids)
+        remaining = set(payloads)
+        retries_used: dict[str, int] = {}
         while remaining:
             remaining -= queue.done_ids()
             if not remaining:
                 return
-            failed = {tid: msg for tid, msg in queue.failed_tasks().items() if tid in task_ids}
-            if failed:
-                task_id, message = sorted(failed.items())[0]
-                raise ExperimentError(
-                    f"{len(failed)} distributed task(s) failed; first ({task_id}): {message}"
-                )
+            reconcile_failed_tasks(
+                queue, remaining, payloads, retries_used, self.runtime_config.task_retries
+            )
             self._distributed_requeued += len(queue.requeue_expired())
             if (
                 procs
@@ -479,24 +590,36 @@ class ParallelExperimentRunner:
                 raise ExperimentError(
                     f"all {len(procs)} local distributed workers exited (return codes "
                     f"{codes}) with {len(remaining)} task(s) unfinished; worker logs are "
-                    f"under {queue.root / 'workers'}"
+                    f"under {log_dir}"
                 )
             time.sleep(COORDINATOR_POLL_S)
 
     @staticmethod
-    def _spawn_worker(queue_root: Path, index: int, lease_timeout_s: float) -> subprocess.Popen:
-        """Launch one local queue worker (same interpreter, logs under the queue)."""
+    def _spawn_worker(
+        target: str | os.PathLike,
+        index: int,
+        lease_timeout_s: float,
+        log_dir: Path | None = None,
+    ) -> subprocess.Popen:
+        """Launch one local queue worker against a queue directory or tcp:// url."""
+        target_text = str(target)
+        if log_dir is None:
+            address = parse_queue_url(target_text)
+            if address.scheme != "file":
+                raise ExperimentError(
+                    "_spawn_worker needs an explicit log_dir for network transports"
+                )
+            log_dir = Path(address.path) / "workers"
         source_root = Path(__file__).resolve().parents[2]
         env = dict(os.environ)
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = str(source_root) + (os.pathsep + existing if existing else "")
-        log_dir = queue_root / "workers"
         log_dir.mkdir(parents=True, exist_ok=True)
         command = [
             sys.executable,
             "-m",
             "repro.runtime.worker",
-            str(queue_root),
+            target_text,
             "--worker-id",
             f"local-{index}",
             "--lease-renew",

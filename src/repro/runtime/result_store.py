@@ -174,6 +174,22 @@ class ResultStore:
         context_fingerprint: str | None = None,
     ) -> Path:
         """Atomically persist one method run."""
+        return self.save_raw(key, result.to_dict(), context_fingerprint)
+
+    def save_raw(
+        self,
+        key: TaskKey,
+        result_payload: dict,
+        context_fingerprint: str | None = None,
+    ) -> Path:
+        """Persist an already-serialized result dict.
+
+        This is the coordinator-side sink of the TCP transport's result
+        uploads: the worker ships ``result.to_dict()`` over the wire and the
+        coordinator writes it verbatim, producing byte-for-byte the file the
+        worker's own ``save`` would have written into a shared store (no
+        deserialize/re-serialize round trip to drift through).
+        """
         path = self.path_for(key, context_fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -185,7 +201,7 @@ class ResultStore:
                 "seed": key.seed,
             },
             "context_fingerprint": context_fingerprint,
-            "result": result.to_dict(),
+            "result": result_payload,
         }
         self._atomic_write(path, payload)
         self.stored_count += 1

@@ -1,21 +1,25 @@
 """Claim-execute-ack worker of the distributed experiment runtime.
 
-Run one of these per host (or several per host) against a queue directory on
-a shared filesystem::
+Run one of these per host (or several per host) against either a queue
+directory on a shared filesystem or a coordinator's TCP queue server::
 
     PYTHONPATH=src python -m repro.runtime.worker /shared/sweep/store/queue
+    PYTHONPATH=src python -m repro.runtime.worker tcp://coordinator:7077
 
-The worker loops: atomically claim a task from ``pending/``, rebuild the
-database from the task's :class:`~repro.storage.spec.DatabaseSpec` (reusing
-the per-process registry across tasks), execute the grid cell, persist the
-result into the payload's (possibly sharded) result store, and ack.  A
-heartbeat thread touches the claimed file while the task runs so the
-coordinator's lease-expiry sweep never re-queues a task that is merely slow;
-if this process is killed, the heartbeat stops with it and the lease expires.
+The worker loops: atomically claim a task, rebuild the database from the
+task's :class:`~repro.storage.spec.DatabaseSpec` (reusing the per-process
+registry across tasks), execute the grid cell, deliver the result and ack.
+How the result travels depends on the transport: file-queue workers persist
+it into the payload's shared (possibly sharded) result store themselves,
+while TCP workers — which share **no** filesystem with the coordinator —
+upload it back inside the ack frame and the coordinator persists it locally.
+A heartbeat thread renews the claim's lease while the task runs so the
+coordinator's expiry sweep never re-queues a task that is merely slow; if
+this process is killed, the heartbeat stops with it and the lease expires.
 
-The worker exits when the coordinator drops the queue's ``stop`` sentinel and
-no work is claimable, after ``--max-tasks`` tasks, or after ``--idle-timeout``
-seconds without work.
+The worker exits when the coordinator signals stop and no work is claimable
+(for TCP, an unreachable coordinator counts as stop), after ``--max-tasks``
+tasks, or after ``--idle-timeout`` seconds without work.
 """
 
 from __future__ import annotations
@@ -27,31 +31,50 @@ import sys
 import threading
 import time
 
-from repro.runtime.workqueue import TaskClaim, WorkQueue
+from repro.runtime.workqueue import (
+    ResultUpload,
+    TaskClaim,
+    WorkerQueueTransport,
+    WorkQueue,
+    parse_queue_url,
+)
 
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
-def _heartbeat(queue: WorkQueue, claim: TaskClaim, stop: threading.Event, interval_s: float) -> None:
+def open_queue(target: str) -> WorkerQueueTransport:
+    """Open the worker-side transport for a queue directory or ``tcp://`` url."""
+    address = parse_queue_url(target)
+    if address.scheme == "tcp":
+        # Imported lazily: file-queue workers never need the socket client.
+        from repro.runtime.netqueue import NetWorkQueue
+
+        return NetWorkQueue(target)
+    return WorkQueue(address.path)
+
+
+def _heartbeat(
+    queue: WorkerQueueTransport, claim: TaskClaim, stop: threading.Event, interval_s: float
+) -> None:
     while not stop.wait(interval_s):
         queue.renew(claim)
 
 
 def run_worker(
-    queue_dir: str,
+    queue_target: str,
     worker_id: str | None = None,
     poll_interval_s: float = 0.2,
     idle_timeout_s: float | None = None,
     max_tasks: int | None = None,
     lease_renew_s: float = 5.0,
 ) -> int:
-    """Drain tasks from ``queue_dir`` until stopped; returns the number completed."""
+    """Drain tasks from ``queue_target`` until stopped; returns the number completed."""
     # Imported here so ``python -m repro.runtime.worker --help`` stays instant.
-    from repro.runtime.parallel import execute_spec_payload
+    from repro.runtime.parallel import execute_spec_payload, execute_spec_payload_with_identity
 
-    queue = WorkQueue(queue_dir)
+    queue = open_queue(str(queue_target))
     worker_id = worker_id or default_worker_id()
     completed = 0
     idle_since = time.monotonic()
@@ -71,7 +94,12 @@ def run_worker(
         )
         beat.start()
         try:
-            execute_spec_payload(claim.payload)
+            if queue.wants_results:
+                result, key, fingerprint = execute_spec_payload_with_identity(claim.payload)
+                upload = ResultUpload(key=key, fingerprint=fingerprint, result=result.to_dict())
+            else:
+                execute_spec_payload(claim.payload)
+                upload = None
         except Exception as exc:
             stop_heartbeat.set()
             beat.join()
@@ -80,7 +108,20 @@ def run_worker(
             continue
         stop_heartbeat.set()
         beat.join()
-        queue.ack(claim, worker_id)
+        try:
+            queue.ack(claim, worker_id, upload)
+        except Exception as exc:
+            # The coordinator rejected the ack (e.g. its result store is
+            # unwritable).  Dying here would take every worker down one by one
+            # with a misleading "all workers exited" sweep error; a failure
+            # marker carries the real cause to the coordinator instead, whose
+            # retry budget turns a persistent rejection into a sweep abort.
+            try:
+                queue.fail(claim, worker_id, f"ack rejected: {type(exc).__name__}: {exc}")
+            except Exception:  # pragma: no cover - transport also down
+                pass
+            print(f"[{worker_id}] ACK REJECTED {claim.task_id}: {exc}", file=sys.stderr, flush=True)
+            continue
         completed += 1
         print(f"[{worker_id}] completed {claim.task_id}", flush=True)
     print(f"[{worker_id}] exiting after {completed} task(s)", flush=True)
@@ -90,15 +131,17 @@ def run_worker(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.worker",
-        description="Claim and execute distributed experiment tasks from a shared work queue.",
+        description="Claim and execute distributed experiment tasks from a work queue "
+        "(shared directory or tcp://host:port coordinator).",
     )
-    parser.add_argument("queue_dir", help="queue directory on the shared filesystem")
+    parser.add_argument("queue", help="queue directory on a shared filesystem, or the "
+                        "coordinator's tcp://host:port queue address")
     parser.add_argument("--worker-id", default=None, help="identity written into ack markers "
                         "(default: <hostname>-<pid>)")
     parser.add_argument("--poll-interval", type=float, default=0.2, metavar="S",
                         help="seconds between claim attempts when idle (default 0.2)")
     parser.add_argument("--idle-timeout", type=float, default=None, metavar="S",
-                        help="exit after this many idle seconds (default: wait for the stop sentinel)")
+                        help="exit after this many idle seconds (default: wait for the stop signal)")
     parser.add_argument("--max-tasks", type=int, default=None, metavar="N",
                         help="exit after completing N tasks (default: unlimited)")
     parser.add_argument("--lease-renew", type=float, default=5.0, metavar="S",
@@ -106,7 +149,7 @@ def main(argv: list[str] | None = None) -> int:
                         "coordinator's lease timeout (default 5)")
     args = parser.parse_args(argv)
     run_worker(
-        args.queue_dir,
+        args.queue,
         worker_id=args.worker_id,
         poll_interval_s=args.poll_interval,
         idle_timeout_s=args.idle_timeout,

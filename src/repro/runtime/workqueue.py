@@ -19,9 +19,20 @@ multi-host sweeps).  All coordination happens through atomic ``os.rename``:
 A worker that dies (SIGKILL, OOM, host loss) simply stops touching its
 claimed files; once a claim's mtime is older than the lease timeout,
 :meth:`WorkQueue.requeue_expired` renames it back into ``pending/`` and
-another worker picks it up.  Task execution is idempotent (results are
-persisted with atomic writes under content-addressed names), so the rare
-double execution after a lease expiry is harmless.
+another worker picks it up.  Lease ages are measured against the *shared
+filesystem's* clock (touch-and-stat of a probe file in the queue root), never
+the coordinator's wall clock: claim mtimes are stamped by the filesystem, so
+comparing them against a possibly-skewed local ``time.time()`` would re-queue
+live claims (coordinator clock ahead) or never expire dead ones (behind).
+Task execution is idempotent (results are persisted with atomic writes under
+content-addressed names), so the rare double execution after a lease expiry
+is harmless.
+
+This module also defines the transport-agnostic queue API: the
+:class:`QueueTransport` protocol (coordinator + worker surface) that this
+file-based queue and the TCP transport in :mod:`repro.runtime.netqueue` both
+implement, and the :class:`ResultUpload` frame a transport that carries
+results back to the coordinator attaches to its acks.
 """
 
 from __future__ import annotations
@@ -33,9 +44,10 @@ import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Protocol, runtime_checkable
 
 from repro.errors import ExperimentError
-from repro.runtime.result_store import atomic_write_bytes
+from repro.runtime.result_store import TaskKey, atomic_write_bytes
 
 #: Subdirectory names of the queue layout.
 PENDING, CLAIMED, DONE, FAILED = "pending", "claimed", "done", "failed"
@@ -43,16 +55,131 @@ PENDING, CLAIMED, DONE, FAILED = "pending", "claimed", "done", "failed"
 #: Stop sentinel file name.
 STOP_SENTINEL = "stop"
 
+#: Probe file the lease-expiry sweep touches to read the filesystem's clock.
+CLOCK_PROBE = ".clock-probe"
+
 _TASK_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 
 @dataclass(frozen=True)
 class TaskClaim:
-    """A successfully claimed task: its id, claimed-file path and payload."""
+    """A successfully claimed task: its id, payload and (file transport only)
+    the claimed-file path whose mtime is the lease heartbeat."""
 
     task_id: str
-    path: Path
     payload: object
+    path: Path | None = None
+
+
+@dataclass(frozen=True)
+class ResultUpload:
+    """A finished task's result, pushed back to the coordinator with the ack.
+
+    Only transports whose workers share no filesystem with the coordinator
+    (``wants_results`` is true, i.e. the TCP transport) carry these; file-queue
+    workers write the shared result store directly and ack without one.
+    """
+
+    key: TaskKey
+    fingerprint: str | None
+    result: dict
+
+
+@dataclass(frozen=True)
+class QueueAddress:
+    """Parsed form of a queue url (``RuntimeConfig.queue_url``)."""
+
+    scheme: str  #: ``"file"`` or ``"tcp"``
+    path: str | None = None
+    host: str | None = None
+    port: int | None = None
+
+
+def parse_queue_url(url: str | os.PathLike) -> QueueAddress:
+    """Parse ``file:///dir``, ``tcp://host:port`` or a bare directory path."""
+    text = str(url)
+    if text.startswith("tcp://"):
+        host, sep, port_text = text[len("tcp://"):].rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if not sep or not host or not 0 <= port <= 65535:
+            raise ExperimentError(
+                f"queue url {text!r} is not of the form tcp://<host>:<port> "
+                "(port 0 binds an ephemeral port on the coordinator)"
+            )
+        return QueueAddress(scheme="tcp", host=host, port=port)
+    if text.startswith("file://"):
+        rest = text[len("file://"):]
+        if rest.startswith("/"):
+            path = rest  # file:///abs/dir — empty authority
+        else:
+            # file://<authority>/<path>: only the local host is meaningful; a
+            # remote authority silently treated as a relative path would point
+            # the coordinator at the wrong local directory.
+            authority, sep, tail = rest.partition("/")
+            if authority != "localhost" or not sep:
+                raise ExperimentError(
+                    f"queue url {text!r} names authority {authority!r}; file:// queues "
+                    "are local — use file:///abs/dir (three slashes) or file://localhost/abs/dir"
+                )
+            path = "/" + tail
+        if not path.rstrip("/"):
+            raise ExperimentError(f"queue url {text!r} names no directory")
+        return QueueAddress(scheme="file", path=path)
+    if "://" in text:
+        scheme = text.split("://", 1)[0]
+        raise ExperimentError(
+            f"unsupported queue url scheme {scheme!r} in {text!r}; expected file:// or tcp://"
+        )
+    return QueueAddress(scheme="file", path=text)
+
+
+@runtime_checkable
+class WorkerQueueTransport(Protocol):
+    """The worker-side queue surface: what the claim-execute-ack loop needs."""
+
+    #: Whether acks must carry a :class:`ResultUpload` (the transport delivers
+    #: results to the coordinator) instead of the worker writing a shared store.
+    wants_results: bool
+
+    def claim(self, worker_id: str) -> TaskClaim | None: ...
+
+    def renew(self, claim: TaskClaim) -> None: ...
+
+    def ack(self, claim: TaskClaim, worker_id: str, result: ResultUpload | None = None) -> None: ...
+
+    def fail(self, claim: TaskClaim, worker_id: str, error: str) -> None: ...
+
+    def stop_requested(self) -> bool: ...
+
+
+@runtime_checkable
+class QueueTransport(WorkerQueueTransport, Protocol):
+    """The full (coordinator + worker) surface of a work-queue transport."""
+
+    def enqueue(self, task_id: str, payload: object) -> object: ...
+
+    def requeue_expired(self) -> list[str]: ...
+
+    def discard_failure(self, task_id: str) -> bool: ...
+
+    def reset(self) -> int: ...
+
+    def write_stop(self) -> None: ...
+
+    def clear_stop(self) -> None: ...
+
+    def done_ids(self) -> set[str]: ...
+
+    def failed_tasks(self) -> dict[str, str]: ...
+
+    def has_live_claims(self) -> bool: ...
+
+    def stats(self) -> "QueueStats": ...
+
+    def close(self) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -74,6 +201,9 @@ class QueueStats:
 class WorkQueue:
     """Coordinator/worker handle over one shared queue directory."""
 
+    #: File-queue workers persist results into the shared store themselves.
+    wants_results = False
+
     def __init__(self, root: str | os.PathLike, lease_timeout_s: float = 60.0) -> None:
         if lease_timeout_s <= 0:
             raise ExperimentError("WorkQueue.lease_timeout_s must be positive")
@@ -89,6 +219,25 @@ class WorkQueue:
     @property
     def stop_path(self) -> Path:
         return self.root / STOP_SENTINEL
+
+    def filesystem_now(self) -> float:
+        """Now according to the clock that stamps claim mtimes.
+
+        Touch-and-stat a probe file in the queue root: on a network filesystem
+        both the probe's and the claims' mtimes are assigned by the same
+        server, so lease ages computed against this value are immune to clock
+        skew between the coordinator and the filesystem (or the worker hosts).
+        Comparing claim mtimes against the coordinator's ``time.time()``
+        instead would spuriously re-queue live claims whenever the coordinator
+        ran ahead by more than the lease timeout — or never expire dead ones
+        when it ran behind.
+        """
+        probe = self.root / CLOCK_PROBE
+        try:
+            probe.touch()
+            return probe.stat().st_mtime
+        except OSError:  # pragma: no cover - probe unwritable: degrade gracefully
+            return time.time()
 
     # ------------------------------------------------------------------ coordinator
     def enqueue(self, task_id: str, payload: object) -> Path:
@@ -106,7 +255,7 @@ class WorkQueue:
         a claim that stopped being touched belongs to a dead worker and goes
         back to ``pending/`` for someone else.
         """
-        now = time.time()
+        now = self.filesystem_now()
         requeued: list[str] = []
         for path in sorted(self._dir(CLAIMED).glob("*.task")):
             try:
@@ -129,11 +278,16 @@ class WorkQueue:
         reconciles a directory left behind by a crashed earlier sweep —
         orphaned pending/claimed tasks would otherwise be drained (and
         re-executed) by the new sweep's workers, and done/failed markers would
-        accumulate without bound.  Returns the number of files removed.
+        accumulate without bound.  ``.tmp`` orphans of crashed atomic writes
+        are dropped too — nothing else removes them, so a reused queue
+        directory would otherwise collect them forever.  Returns the number of
+        files removed.
         """
         removed = 0
         for kind, pattern in ((PENDING, "*.task"), (CLAIMED, "*.task"),
-                              (DONE, "*.json"), (FAILED, "*.json")):
+                              (DONE, "*.json"), (FAILED, "*.json"),
+                              (PENDING, "*.tmp"), (CLAIMED, "*.tmp"),
+                              (DONE, "*.tmp"), (FAILED, "*.tmp")):
             for path in self._dir(kind).glob(pattern):
                 try:
                     path.unlink()
@@ -186,16 +340,30 @@ class WorkQueue:
         except FileNotFoundError:
             pass
 
-    def ack(self, claim: TaskClaim, worker_id: str) -> None:
-        """Mark a claim as completed and release it."""
+    def ack(self, claim: TaskClaim, worker_id: str, result: ResultUpload | None = None) -> None:
+        """Mark a claim as completed and release it.
+
+        ``result`` is accepted for transport-protocol uniformity and ignored:
+        file-queue workers have already written the shared result store.
+        """
         self._write_marker(DONE, claim.task_id, worker_id)
-        claim.path.unlink(missing_ok=True)
+        if claim.path is not None:
+            claim.path.unlink(missing_ok=True)
 
     def fail(self, claim: TaskClaim, worker_id: str, error: str) -> None:
-        """Mark a claim as failed (it is *not* re-queued: the error is deterministic
-        until someone changes the code or inputs, unlike a dead worker's lease)."""
+        """Mark a claim as failed (re-queueing is the coordinator's call: it
+        retries a failed task up to ``RuntimeConfig.task_retries`` times)."""
         self._write_marker(FAILED, claim.task_id, worker_id, error=error)
-        claim.path.unlink(missing_ok=True)
+        if claim.path is not None:
+            claim.path.unlink(missing_ok=True)
+
+    def discard_failure(self, task_id: str) -> bool:
+        """Drop a task's failure marker (the coordinator is about to retry it)."""
+        try:
+            (self._dir(FAILED) / f"{task_id}.json").unlink()
+            return True
+        except FileNotFoundError:
+            return False
 
     def _write_marker(self, kind: str, task_id: str, worker_id: str, error: str | None = None) -> None:
         marker = {"task_id": task_id, "worker": worker_id, "status": kind}
@@ -227,7 +395,7 @@ class WorkQueue:
 
     def has_live_claims(self) -> bool:
         """Whether any claim's lease is still being heart-beaten."""
-        now = time.time()
+        now = self.filesystem_now()
         for path in self._dir(CLAIMED).glob("*.task"):
             try:
                 if now - path.stat().st_mtime <= self.lease_timeout_s:
@@ -237,12 +405,18 @@ class WorkQueue:
         return False
 
     def stats(self) -> QueueStats:
+        """Directory-entry counts only: the coordinator polls this every few
+        hundred milliseconds, so it must never read or parse marker contents
+        (``failed_tasks`` does, and stays reserved for error reporting)."""
         return QueueStats(
-            pending=len(self.pending_ids()),
-            claimed=len(self.claimed_ids()),
-            done=len(self.done_ids()),
-            failed=len(self.failed_tasks()),
+            pending=sum(1 for _ in self._dir(PENDING).glob("*.task")),
+            claimed=sum(1 for _ in self._dir(CLAIMED).glob("*.task")),
+            done=sum(1 for _ in self._dir(DONE).glob("*.json")),
+            failed=sum(1 for _ in self._dir(FAILED).glob("*.json")),
         )
+
+    def close(self) -> None:
+        """Nothing to release: the file transport holds no connections."""
 
     def describe(self) -> str:
         return f"WorkQueue({self.root}, {self.stats().describe()})"

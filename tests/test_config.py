@@ -145,3 +145,25 @@ class TestRuntimeConfigDefaults:
     def test_rejects_unknown_executor(self):
         with pytest.raises(ValueError):
             RuntimeConfig(executor_kind="gpu")
+
+    def test_task_retries_defaults_to_one_and_rejects_negative(self):
+        assert RuntimeConfig().task_retries == 1
+        assert RuntimeConfig(task_retries=0).task_retries == 0
+        with pytest.raises(ValueError):
+            RuntimeConfig(task_retries=-1)
+
+    def test_queue_url_accepts_file_and_tcp_schemes(self):
+        assert RuntimeConfig().queue_url is None
+        assert RuntimeConfig(queue_url="tcp://127.0.0.1:0").queue_url == "tcp://127.0.0.1:0"
+        assert RuntimeConfig(queue_url="file:///shared/q").queue_url == "file:///shared/q"
+        assert RuntimeConfig(queue_url="/shared/q").queue_url == "/shared/q"  # bare path = file
+
+    def test_queue_url_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(queue_url="http://coordinator:80")
+
+    def test_queue_url_malformed_tcp_rejected_at_construction(self):
+        # Full parse at construction time: a port-less tcp url must not get as
+        # far as run_grid before failing.
+        with pytest.raises(ValueError):
+            RuntimeConfig(queue_url="tcp://coordinator")

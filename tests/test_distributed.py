@@ -1,13 +1,20 @@
-"""Tests for the distributed runtime: sharded store, work queue, queue workers.
+"""Tests for the distributed runtime: sharded store, work queues, queue workers.
 
 The heavyweight end-to-end tests launch real ``python -m repro.runtime.worker``
-processes against a queue on the test's tmp filesystem — the same moving
-parts a multi-host sweep uses, minus the network filesystem.
+processes — against a queue directory on the test's tmp filesystem (the file
+transport) and against a coordinator-side TCP queue server with workers
+running out of isolated directories that share nothing with the coordinator
+(the network transport).
 """
 
 import json
 import multiprocessing
+import os
+import subprocess
+import sys
 import time
+from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
@@ -17,14 +24,33 @@ from repro.core.metrics import MethodRunResult, QueryTiming
 from repro.core.splits import DatasetSplit, SplitSampling
 from repro.errors import ExperimentError
 from repro.experiments.common import distributed_runtime
-from repro.runtime.parallel import ParallelExperimentRunner
+from repro.runtime.netqueue import NetWorkQueue, QueueServer
+from repro.runtime.parallel import ParallelExperimentRunner, reconcile_failed_tasks
 from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
-from repro.runtime.workqueue import WorkQueue
+from repro.runtime.workqueue import (
+    QueueTransport,
+    ResultUpload,
+    WorkerQueueTransport,
+    WorkQueue,
+    parse_queue_url,
+)
 from repro.storage.registry import get_process_registry
 from repro.storage.spec import DatabaseSpec
 from repro.workloads import build_workload
 
 GRID_METHODS = ("postgres", "bao")
+
+#: Queue transports the end-to-end sweeps are exercised over.
+TRANSPORTS = ("file", "tcp")
+
+
+def sweep_runtime(tmp_path, transport, **overrides):
+    """A distributed RuntimeConfig on the requested queue transport."""
+    return distributed_runtime(
+        tmp_path / "store",
+        queue_url="tcp://127.0.0.1:0" if transport == "tcp" else None,
+        **overrides,
+    )
 
 GRID_CONFIG = ExperimentConfig(
     optimizer_kwargs={"bao": {"training_passes": 1}},
@@ -281,6 +307,41 @@ class TestWorkQueue:
         assert queue.done_ids() == set() and queue.failed_tasks() == {}
         assert not queue.stop_requested()
 
+    def test_reset_removes_tmp_orphans_of_crashed_atomic_writes(self, tmp_path):
+        """`.tmp` leftovers in pending/ and done/ (a crash between mkstemp and
+        rename) used to survive reset() forever; they must be swept too."""
+        queue = WorkQueue(tmp_path / "q")
+        (queue.root / "pending" / "t-0.task.abc123.tmp").write_text("{partial")
+        (queue.root / "done" / "t-1.xyz789.tmp").write_text("{partial")
+        queue.enqueue("t-2", "task")
+        assert queue.reset() == 3  # both orphans + the pending task
+        assert not list(queue.root.rglob("*.tmp"))
+        assert queue.pending_ids() == set()
+
+    def test_stats_failed_count_never_parses_marker_files(self, tmp_path, monkeypatch):
+        """stats() is polled continuously by the coordinator: it must count
+        failed/ directory entries, not read+JSON-parse every marker (that is
+        failed_tasks()'s job, reserved for error reporting)."""
+        queue = WorkQueue(tmp_path / "q")
+        for index in range(2):
+            queue.enqueue(f"t-{index}", "task")
+            queue.fail(queue.claim("w"), "w", "boom")
+
+        def _must_not_be_called(self):
+            raise AssertionError("stats() must not parse failure markers")
+
+        monkeypatch.setattr(WorkQueue, "failed_tasks", _must_not_be_called)
+        assert queue.stats().failed == 2
+        assert queue.stats().describe() == "0 pending, 0 claimed, 0 done, 2 failed"
+
+    def test_discard_failure_clears_marker(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue("t-0", "task")
+        queue.fail(queue.claim("w"), "w", "boom")
+        assert queue.discard_failure("t-0")
+        assert queue.failed_tasks() == {}
+        assert not queue.discard_failure("t-0")  # already gone
+
     def test_stop_sentinel(self, tmp_path):
         queue = WorkQueue(tmp_path / "q")
         assert not queue.stop_requested()
@@ -298,6 +359,325 @@ class TestWorkQueue:
         with pytest.raises(ExperimentError):
             WorkQueue(tmp_path / "q", lease_timeout_s=0)
 
+    def test_implements_queue_transport_protocol(self, tmp_path):
+        assert isinstance(WorkQueue(tmp_path / "q"), QueueTransport)
+        assert isinstance(WorkQueue(tmp_path / "q"), WorkerQueueTransport)
+        assert WorkQueue(tmp_path / "q").wants_results is False
+
+
+class TestLeaseClockSkew:
+    """Lease ages must come from the filesystem's clock, not the coordinator's
+    wall clock: with cross-host skew larger than the lease timeout, the old
+    `time.time()` comparison re-queued live claims or kept dead ones forever."""
+
+    def test_live_claim_survives_coordinator_clock_running_ahead(self, tmp_path, monkeypatch):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=30)
+        queue.enqueue("t-0", "task")
+        assert queue.claim("live-worker") is not None
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 3600)
+        # Old behaviour: age = skewed_now - mtime = ~1 h > 30 s -> spurious re-queue.
+        assert queue.requeue_expired() == []
+        assert queue.claimed_ids() == {"t-0"}
+        assert queue.has_live_claims()
+
+    def test_dead_claim_expires_despite_coordinator_clock_running_behind(
+        self, tmp_path, monkeypatch
+    ):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=5)
+        queue.enqueue("t-0", "task")
+        claim = queue.claim("doomed-worker")
+        # The worker died a minute ago by the filesystem's clock.
+        stale = queue.filesystem_now() - 60
+        os.utime(claim.path, times=(stale, stale))
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() - 3600)
+        # Old behaviour: age = skewed_now - mtime < 0 -> the lease never expires.
+        assert not queue.has_live_claims()
+        assert queue.requeue_expired() == ["t-0"]
+        assert queue.pending_ids() == {"t-0"}
+
+    def test_filesystem_now_tracks_claim_mtimes(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=30)
+        queue.enqueue("t-0", "task")
+        claim = queue.claim("w")
+        # Probe and claim are stamped by the same clock: ages are near zero.
+        assert abs(queue.filesystem_now() - claim.path.stat().st_mtime) < 5.0
+
+
+class TestTaskRetries:
+    """One transient task failure must not abort a multi-hour sweep: the
+    coordinator re-queues failed tasks up to RuntimeConfig.task_retries times,
+    and the final error reports the attempt count."""
+
+    @pytest.fixture(params=TRANSPORTS)
+    def retry_queue(self, request, tmp_path):
+        if request.param == "file":
+            yield WorkQueue(tmp_path / "q")
+        else:
+            server = QueueServer(lease_timeout_s=30)
+            yield server
+            server.close()
+
+    @staticmethod
+    def _fail_once(queue, error="TransientError: boom"):
+        queue.enqueue("t-0", "payload")
+        queue.fail(queue.claim("w"), "w", error)
+
+    def test_failed_task_requeued_within_budget(self, retry_queue):
+        self._fail_once(retry_queue)
+        retries_used: dict[str, int] = {}
+        retried = reconcile_failed_tasks(
+            retry_queue, {"t-0"}, {"t-0": "payload"}, retries_used, task_retries=1
+        )
+        assert retried == ["t-0"]
+        assert retries_used == {"t-0": 1}
+        assert retry_queue.failed_tasks() == {}  # marker discarded
+        revived = retry_queue.claim("second-worker")  # and claimable again
+        assert revived is not None and revived.payload == "payload"
+
+    def test_exhausted_budget_raises_with_attempt_count(self, retry_queue):
+        self._fail_once(retry_queue)
+        retries_used: dict[str, int] = {}
+        reconcile_failed_tasks(retry_queue, {"t-0"}, {"t-0": "payload"}, retries_used, 1)
+        retry_queue.fail(retry_queue.claim("w"), "w", "TransientError: boom again")
+        with pytest.raises(ExperimentError, match=r"failed after 2 attempt"):
+            reconcile_failed_tasks(retry_queue, {"t-0"}, {"t-0": "payload"}, retries_used, 1)
+
+    def test_zero_retries_fails_on_first_marker(self, retry_queue):
+        self._fail_once(retry_queue)
+        with pytest.raises(ExperimentError, match=r"failed after 1 attempt"):
+            reconcile_failed_tasks(retry_queue, {"t-0"}, {"t-0": "payload"}, {}, task_retries=0)
+
+    def test_failures_of_finished_tasks_are_ignored(self, retry_queue):
+        """A marker for a task no longer in `remaining` (finished on retry by
+        another worker) must not trip the reconciliation."""
+        self._fail_once(retry_queue)
+        assert reconcile_failed_tasks(retry_queue, set(), {}, {}, task_retries=0) == []
+
+
+# ---------------------------------------------------------------------------
+# TCP transport (netqueue)
+# ---------------------------------------------------------------------------
+
+
+class TestNetQueue:
+    def test_lifecycle_persists_uploaded_results_coordinator_side(self, tmp_path):
+        """enqueue -> claim -> renew -> ack-with-result over a real socket; the
+        uploaded result must land in the coordinator's local store exactly as
+        a shared-store save would have written it."""
+        store = ResultStore(tmp_path / "store")
+        server = QueueServer(lease_timeout_s=30, result_store=store)
+        try:
+            client = NetWorkQueue(server.url)
+            server.enqueue("t-0", {"n": 0})
+            server.enqueue("t-1", {"n": 1})
+            claim = client.claim("worker-a")
+            assert claim is not None and claim.task_id == "t-0"
+            assert claim.payload == {"n": 0}
+            assert server.stats().describe() == "1 pending, 1 claimed, 0 done, 0 failed"
+            client.renew(claim)
+
+            key = TaskKey("job", "random-0", "postgres", seed=1)
+            result = _sample_result()
+            client.ack(
+                claim,
+                "worker-a",
+                ResultUpload(key=key, fingerprint="ctx", result=result.to_dict()),
+            )
+            assert server.done_ids() == {"t-0"}
+            assert store.load(key, "ctx").to_dict() == result.to_dict()
+            # Byte-parity with a direct save of the same result.
+            reference = ResultStore(tmp_path / "reference")
+            reference.save(key, result, "ctx")
+            assert (
+                store.path_for(key, "ctx").read_bytes()
+                == reference.path_for(key, "ctx").read_bytes()
+            )
+
+            second = client.claim("worker-a")
+            client.fail(second, "worker-a", "ValueError: boom")
+            assert server.failed_tasks() == {"t-1": "ValueError: boom"}
+            assert not client.stop_requested()
+            server.write_stop()
+            assert client.stop_requested()
+        finally:
+            server.close()
+
+    def test_claim_is_exclusive_and_expired_lease_is_requeued(self):
+        server = QueueServer(lease_timeout_s=0.05)
+        try:
+            client = NetWorkQueue(server.url)
+            server.enqueue("only", "task")
+            first = client.claim("a")
+            assert first is not None
+            assert client.claim("b") is None  # exclusive
+            time.sleep(0.1)  # the claimer never renews: lease expires
+            assert server.requeue_expired() == ["only"]
+            assert not server.has_live_claims()
+            revived = client.claim("b")
+            assert revived is not None and revived.payload == "task"
+        finally:
+            server.close()
+
+    def test_renew_keeps_server_side_lease_alive(self):
+        server = QueueServer(lease_timeout_s=0.2)
+        try:
+            client = NetWorkQueue(server.url)
+            server.enqueue("t-0", "task")
+            claim = client.claim("steady")
+            for _ in range(3):
+                time.sleep(0.1)
+                client.renew(claim)
+            assert server.requeue_expired() == []
+            assert server.has_live_claims()
+        finally:
+            server.close()
+
+    def test_zombie_ack_after_requeue_wins(self, tmp_path):
+        """A worker that outlives its lease may ack a task that was already
+        re-queued: the (identical) result wins and the duplicate is dropped."""
+        store = ResultStore(tmp_path / "store")
+        server = QueueServer(lease_timeout_s=0.05, result_store=store)
+        try:
+            client = NetWorkQueue(server.url)
+            server.enqueue("t-0", "task")
+            zombie = client.claim("zombie")
+            time.sleep(0.1)
+            assert server.requeue_expired() == ["t-0"]  # back in pending
+            key = TaskKey("job", "s", "postgres")
+            client.ack(zombie, "zombie", ResultUpload(key, "ctx", _sample_result().to_dict()))
+            assert server.done_ids() == {"t-0"}
+            assert server.pending_ids() == set()  # duplicate dropped
+            assert store.exists(key, "ctx")
+        finally:
+            server.close()
+
+    def test_ack_rejected_by_server_raises_and_task_stays_undone(self, tmp_path):
+        """A coordinator-side persistence failure must surface to the acking
+        caller (not be swallowed like a dead connection) and must not mark the
+        task done — its result never reached disk."""
+        store = ResultStore(tmp_path / "store")
+        server = QueueServer(lease_timeout_s=30, result_store=store)
+        try:
+            def boom(*args, **kwargs):
+                raise RuntimeError("disk full")
+
+            store.save_raw = boom
+            client = NetWorkQueue(server.url)
+            server.enqueue("t-0", "task")
+            claim = client.claim("w")
+            upload = ResultUpload(TaskKey("job", "s", "postgres"), "ctx", {})
+            with pytest.raises(ExperimentError, match="disk full"):
+                client.ack(claim, "w", upload)
+            assert server.done_ids() == set()
+        finally:
+            server.close()
+
+    def test_worker_loop_converts_ack_rejection_into_failure_marker(self, tmp_path):
+        """An ack rejection must not kill the worker process: the loop files a
+        failure marker carrying the real cause and keeps draining."""
+        from repro.runtime.worker import run_worker
+
+        spec, workload, split = _spec_grid_parts()
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=sweep_runtime(tmp_path, "tcp", workers=1, shard_count=2),
+        )
+        store = runner.result_store
+        server = QueueServer(lease_timeout_s=30, result_store=store)
+        try:
+            def boom(*args, **kwargs):
+                raise RuntimeError("disk full")
+
+            store.save_raw = boom
+            task = runner.tasks_for(("postgres",), [split])[0]
+            payload = replace(runner.spec_payload(task), store_root=None, store_shards=0)
+            server.enqueue("t-0", payload)
+            completed = run_worker(
+                server.url, worker_id="w", idle_timeout_s=1.0, max_tasks=2, lease_renew_s=0.5
+            )
+            assert completed == 0  # the task executed but was never acked
+            assert "ack rejected" in server.failed_tasks().get("t-0", "")
+            assert "disk full" in server.failed_tasks()["t-0"]
+            assert server.done_ids() == set()
+        finally:
+            server.close()
+
+    def test_dead_server_reads_as_stop(self):
+        server = QueueServer(lease_timeout_s=5)
+        url = server.url
+        server.close()
+        client = NetWorkQueue(url, timeout_s=2.0)
+        assert client.claim("w") is None
+        assert client.stop_requested()
+
+    def test_reset_clears_all_state(self):
+        server = QueueServer(lease_timeout_s=30)
+        try:
+            server.enqueue("t-0", "a")
+            server.enqueue("t-1", "b")
+            claim = server.claim("w")
+            server.ack(claim, "w")
+            server.write_stop()
+            assert server.reset() == 2  # 1 pending + 1 done
+            assert server.stats().describe() == "0 pending, 0 claimed, 0 done, 0 failed"
+            assert not server.stop_requested()
+        finally:
+            server.close()
+
+    def test_server_implements_queue_transport_protocol(self):
+        server = QueueServer(lease_timeout_s=30)
+        try:
+            assert isinstance(server, QueueTransport)
+            assert server.wants_results is True
+            client = NetWorkQueue(server.url)
+            assert isinstance(client, WorkerQueueTransport)
+            assert client.wants_results is True
+        finally:
+            server.close()
+
+    def test_client_rejects_non_tcp_url(self):
+        with pytest.raises(ExperimentError, match="tcp"):
+            NetWorkQueue("file:///tmp/queue")
+
+    def test_unknown_op_is_rejected_not_hung(self):
+        server = QueueServer(lease_timeout_s=30)
+        try:
+            client = NetWorkQueue(server.url)
+            with pytest.raises(ExperimentError, match="unknown queue op"):
+                client._request({"op": "frobnicate"})
+        finally:
+            server.close()
+
+
+class TestQueueUrlParsing:
+    def test_tcp_and_file_and_bare_paths(self):
+        tcp = parse_queue_url("tcp://10.0.0.5:7077")
+        assert (tcp.scheme, tcp.host, tcp.port) == ("tcp", "10.0.0.5", 7077)
+        assert parse_queue_url("file:///shared/q").path == "/shared/q"
+        assert parse_queue_url("/shared/q").scheme == "file"
+
+    @pytest.mark.parametrize(
+        "url", ["tcp://", "tcp://host", "tcp://host:notaport", "tcp://host:70777", "nfs://x/y", "file://"]
+    )
+    def test_malformed_urls_rejected(self, url):
+        with pytest.raises(ExperimentError):
+            parse_queue_url(url)
+
+    def test_file_url_with_remote_authority_rejected(self):
+        """file://shared/sweep (two slashes) names host "shared", not the path
+        /shared/sweep — silently treating it as a CWD-relative path would point
+        the coordinator at the wrong local directory while remote workers drain
+        the real mount."""
+        with pytest.raises(ExperimentError, match="authority"):
+            parse_queue_url("file://shared/sweep/queue")
+
+    def test_file_url_localhost_authority_accepted(self):
+        assert parse_queue_url("file://localhost/shared/q").path == "/shared/q"
+
 
 # ---------------------------------------------------------------------------
 # Distributed execution end to end
@@ -305,17 +685,19 @@ class TestWorkQueue:
 
 
 class TestDistributedRunner:
-    def test_distributed_identical_to_serial_and_merge_loads(self, tmp_path):
-        """2 queue workers vs serial: byte-identical results, sharded layout on
-        disk, and every task loads from the merged flat store under its
-        context fingerprint (the PR's acceptance criterion)."""
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_distributed_identical_to_serial_and_merge_loads(self, tmp_path, transport):
+        """2 queue workers vs serial, on each transport: byte-identical
+        results, sharded layout on disk, and every task loads from the merged
+        flat store under its context fingerprint (the PR's acceptance
+        criterion)."""
         spec, workload, split = _spec_grid_parts()
         runner = ParallelExperimentRunner(
             spec,
             workload,
             experiment_config=GRID_CONFIG,
-            runtime_config=distributed_runtime(
-                tmp_path / "store", workers=2, shard_count=4, lease_timeout_s=30
+            runtime_config=sweep_runtime(
+                tmp_path, transport, workers=2, shard_count=4, lease_timeout_s=30
             ),
         )
         distributed = [run_result_as_json(r) for r in runner.run_grid(GRID_METHODS, [split])]
@@ -335,6 +717,14 @@ class TestDistributedRunner:
         assert len(stored) == len(GRID_METHODS)
         assert all(p.relative_to(store.root).parts[0].startswith("shard-") for p in stored)
         assert store.manifest()["context_fingerprints"]  # refreshed by the coordinator
+        if transport == "tcp":
+            # No shared queue directory exists, and every result was persisted
+            # by the coordinator from worker uploads, not by the workers.
+            assert not (store.root / "queue").exists()
+            assert store.stored_count == len(GRID_METHODS)
+        else:
+            # File transport: the workers wrote the shared store themselves.
+            assert store.stored_count == 0
 
         merged = store.merge(tmp_path / "merged")
         for task in runner.tasks_for(GRID_METHODS, [split]):
@@ -387,7 +777,86 @@ class TestDistributedRunner:
             stored = runner.result_store.load(runner.task_key(task), runner.task_fingerprint(task))
             assert run_result_as_json(stored) == run_result_as_json(reference)
 
-    def test_distributed_resume_skips_completed_tasks(self, tmp_path):
+    @staticmethod
+    def _spawn_isolated_worker(url: str, island: Path, index: int) -> subprocess.Popen:
+        """A real worker process whose only link to the coordinator is the TCP
+        url: it runs from (and temps into) its own island directory and is
+        given no path the coordinator ever reads or writes."""
+        island.mkdir(parents=True, exist_ok=True)
+        source_root = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(source_root)
+        env["TMPDIR"] = str(island)
+        command = [
+            sys.executable, "-m", "repro.runtime.worker", url,
+            "--worker-id", f"island-{index}", "--lease-renew", "0.25",
+        ]
+        with open(island / "worker.log", "ab") as log:
+            return subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env, cwd=str(island)
+            )
+
+    def test_tcp_sweep_with_isolated_workers_survives_dead_worker(self, tmp_path):
+        """TCP transport end to end with zero filesystem sharing: a worker in
+        an isolated island directory drains the queue over the socket, a
+        SIGKILLed worker's claim (claimed, never renewed) is re-queued
+        server-side, every result is persisted coordinator-locally from the
+        upload frames, and the grid is byte-identical to serial."""
+        spec, workload, split = _spec_grid_parts()
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=sweep_runtime(tmp_path, "tcp", workers=1, shard_count=2),
+        )
+        store = runner.result_store
+        tasks = runner.tasks_for(GRID_METHODS, [split])
+        want = {f"t-{index}" for index in range(len(tasks))}
+        server = QueueServer(lease_timeout_s=1.0, result_store=store)
+        proc = None
+        island = tmp_path / "worker-island"
+        try:
+            for index, task in enumerate(tasks):
+                payload = replace(runner.spec_payload(task), store_root=None, store_shards=0)
+                server.enqueue(f"t-{index}", payload)
+            # Simulate a SIGKILLed worker: it claimed over the wire and died —
+            # its lease is never renewed again.
+            doomed = NetWorkQueue(server.url).claim("doomed-worker")
+            assert doomed is not None
+
+            proc = self._spawn_isolated_worker(server.url, island, 0)
+            deadline = time.monotonic() + 180
+            requeued: list[str] = []
+            while time.monotonic() < deadline:
+                requeued += server.requeue_expired()
+                if server.done_ids() >= want:
+                    break
+                assert not server.failed_tasks()
+                time.sleep(0.2)
+        finally:
+            server.write_stop()
+            if proc is not None:
+                proc.wait(timeout=60)
+            server.close()
+        assert doomed.task_id in requeued  # the dead worker's lease was re-queued
+        assert server.done_ids() >= want
+        # The island shares nothing with the coordinator: no store, no queue
+        # files ever appear there — only the worker's own log.
+        assert not list(island.rglob("*.json"))
+        assert not list(island.rglob("*.task"))
+        # Every result reached the store through the coordinator's sink.
+        assert store.stored_count >= len(tasks)
+
+        serial = ParallelExperimentRunner(
+            spec, workload, experiment_config=GRID_CONFIG, runtime_config=RuntimeConfig(workers=1)
+        )
+        expected = serial.run_grid(GRID_METHODS, [split])
+        for task, reference in zip(tasks, expected):
+            stored = store.load(runner.task_key(task), runner.task_fingerprint(task))
+            assert run_result_as_json(stored) == run_result_as_json(reference)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_distributed_resume_skips_completed_tasks(self, tmp_path, transport):
         """A second distributed sweep over a fully-populated store enqueues
         nothing, spawns no workers and serves every result from disk."""
         spec, workload, split = _spec_grid_parts()
@@ -397,7 +866,7 @@ class TestDistributedRunner:
                 spec,
                 workload,
                 experiment_config=GRID_CONFIG,
-                runtime_config=distributed_runtime(tmp_path / "store", workers=2, shard_count=2),
+                runtime_config=sweep_runtime(tmp_path, transport, workers=2, shard_count=2),
             )
 
         first = make_runner()
