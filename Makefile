@@ -7,7 +7,10 @@
 #   make bench-distributed - work-queue sweep with a killed worker, lease
 #                            re-queue, resume and shard merge, as in CI
 #   make bench-distributed-tcp - the same crash-recovery sweep over the TCP
-#                            queue transport: no shared queue/store directory
+#                            queue transport: no shared queue/store directory,
+#                            HMAC-authenticated frames (REPRO_QUEUE_SECRET)
+#   make bench-progress    - fast-cadence progress-telemetry sweep over the
+#                            secured TCP transport (snapshot every 0.5 s)
 #   make bench             - every benchmark at reduced scale
 #   make example           - the parallel+resume runtime demo
 #
@@ -28,7 +31,14 @@ BENCH_DISTRIBUTED_STORE ?= $(shell mktemp -d /tmp/repro-dist.XXXXXX)
 # never see this path: tasks and results travel over the socket).
 BENCH_DISTRIBUTED_TCP_STORE ?= $(shell mktemp -d /tmp/repro-dist-tcp.XXXXXX)
 
-.PHONY: test lint bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench example
+# Store of the progress-telemetry sweep (bench-progress).
+BENCH_PROGRESS_STORE ?= $(shell mktemp -d /tmp/repro-progress.XXXXXX)
+
+# Shared HMAC secret of the authenticated TCP sweeps (override to taste; the
+# value only needs to match between coordinator and workers).
+REPRO_QUEUE_SECRET ?= local-bench-secret
+
+.PHONY: test lint bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,7 +61,14 @@ bench-distributed:
 
 bench-distributed-tcp:
 	REPRO_BENCH_WORKERS=2 REPRO_BENCH_TRANSPORT=tcp \
+	REPRO_QUEUE_SECRET=$(REPRO_QUEUE_SECRET) \
 	REPRO_BENCH_STORE=$(BENCH_DISTRIBUTED_TCP_STORE) \
+	$(PYTHON) examples/distributed_sweep.py
+
+bench-progress:
+	REPRO_BENCH_WORKERS=2 REPRO_BENCH_TRANSPORT=tcp REPRO_BENCH_PROGRESS=0.5 \
+	REPRO_QUEUE_SECRET=$(REPRO_QUEUE_SECRET) \
+	REPRO_BENCH_STORE=$(BENCH_PROGRESS_STORE) \
 	$(PYTHON) examples/distributed_sweep.py
 
 bench:

@@ -212,3 +212,49 @@ def test_distributed_workqueue_equivalent_to_serial(benchmark, bench_scale, tmp_
         merged.load(runner.task_key(task), runner.task_fingerprint(task))
     print()
     print(f"distributed grid of {len(a)} tasks byte-identical to serial; {store.describe()}")
+
+
+def test_distributed_secured_tcp_with_progress_telemetry(benchmark, bench_scale, tmp_path, monkeypatch):
+    """An HMAC-authenticated tcp:// sweep with work stealing and live progress
+    telemetry: byte-identical to serial, at least one snapshot emitted, and
+    the telemetry overhead rides inside the measured sweep."""
+    monkeypatch.setenv("REPRO_QUEUE_SECRET", "bench-progress-secret")
+    context = job_context(bench_scale)
+    split = generate_split(context.workload, SplitSampling.RANDOM, seed=0)
+    config = ExperimentConfig(optimizer_kwargs={"bao": {"training_passes": 1}})
+    methods = ("postgres", "bao")
+    snapshots: list = []
+
+    runner = ParallelExperimentRunner(
+        context.dispatch_source,
+        context.workload,
+        experiment_config=config,
+        runtime_config=distributed_runtime(
+            tmp_path / "tcp-store",
+            workers=2,
+            shard_count=4,
+            queue_url="tcp://127.0.0.1:0",
+            progress_interval_s=0.5,
+        ),
+        progress_callback=snapshots.append,
+    )
+    distributed = benchmark.pedantic(
+        lambda: runner.run_grid(methods, [split]), iterations=1, rounds=1
+    )
+    serial = ParallelExperimentRunner(
+        context.dispatch_source,
+        context.workload,
+        experiment_config=config,
+        runtime_config=RuntimeConfig(workers=1, executor_kind="serial"),
+    ).run_grid(methods, [split])
+    a = [json.dumps(r.to_dict(), sort_keys=True) for r in distributed]
+    b = [json.dumps(r.to_dict(), sort_keys=True) for r in serial]
+    assert a == b
+    assert snapshots, "no progress snapshot was emitted"
+    final = snapshots[-1]
+    assert final.done == final.total == len(a)
+    json.loads(final.to_json())
+    print()
+    print(f"secured tcp sweep of {len(a)} tasks byte-identical to serial; "
+          f"{len(snapshots)} snapshot(s), {runner._distributed_stolen} stolen; "
+          f"final: {final.describe()}")

@@ -3,12 +3,17 @@
 Exercises the full multi-host runtime on one machine:
 
 1. A coordinator fans a reduced Figure-4-style grid out through the work
-   queue onto ``REPRO_BENCH_WORKERS`` (default 2) local worker processes.
-   With ``REPRO_BENCH_TRANSPORT=file`` (default) the queue is a directory on
-   a shared filesystem and the workers write the **sharded** result store
-   themselves; with ``REPRO_BENCH_TRANSPORT=tcp`` the coordinator serves the
-   queue over a socket, no queue/store directory is shared at all, and
-   workers upload results back inside their ack frames.
+   queue onto ``REPRO_BENCH_WORKERS`` (default 2) local worker processes,
+   with live progress telemetry (a machine-readable snapshot every
+   ``REPRO_BENCH_PROGRESS`` seconds, default 2) and coordinator-side work
+   stealing between queue shards.  With ``REPRO_BENCH_TRANSPORT=file``
+   (default) the queue is a directory on a shared filesystem and the workers
+   write the **sharded** result store themselves; with
+   ``REPRO_BENCH_TRANSPORT=tcp`` the coordinator serves the queue over a
+   socket, no queue/store directory is shared at all, and workers upload
+   results back inside their ack frames.  With ``REPRO_QUEUE_SECRET`` set,
+   every TCP frame is HMAC-signed — the script then also asserts that a
+   client *without* the secret is rejected before anything is unpickled.
 2. Once both workers are mid-task, one of them is SIGKILLed — its lease stops
    being renewed, the coordinator's expiry sweep re-queues its claim, and the
    surviving worker finishes the grid.
@@ -16,7 +21,8 @@ Exercises the full multi-host runtime on one machine:
    recomputed (asserted via stored-file mtimes).
 4. The shards are merged into a flat store at ``<store>-merged``, every task
    is loaded back under its context fingerprint, and the whole grid is
-   checked byte-identical against serial execution.
+   checked byte-identical against serial execution.  The final progress
+   snapshot is saved as a store artifact (``artifacts/progress-final.json``).
 
 The script exits non-zero if any of those properties is violated, so CI can
 gate on it (the ``bench-distributed`` and ``bench-distributed-tcp`` jobs).
@@ -27,11 +33,14 @@ Usage::
 
 Environment: ``REPRO_BENCH_WORKERS`` (local workers, default 2),
 ``REPRO_BENCH_TRANSPORT`` (``file``/``tcp``, default ``file``),
-``REPRO_BENCH_STORE`` (used when no ``store_dir`` argument is given).
+``REPRO_BENCH_PROGRESS`` (snapshot interval seconds, default 2),
+``REPRO_QUEUE_SECRET`` (tcp frame-signing secret, authentication off when
+unset), ``REPRO_BENCH_STORE`` (used when no ``store_dir`` argument is given).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import tempfile
@@ -44,6 +53,7 @@ from repro.core.experiment import ExperimentConfig
 from repro.core.report import store_report
 from repro.core.splits import DatasetSplit, SplitSampling
 from repro.experiments.common import distributed_runtime, job_context
+from repro.runtime.netqueue import NetWorkQueue, QueueAuthError, QueueServer
 from repro.runtime.parallel import ParallelExperimentRunner
 
 METHODS = ("postgres", "bao")
@@ -65,9 +75,23 @@ def demo_splits(workload_name: str) -> list[DatasetSplit]:
 
 
 def result_json(result) -> str:
-    import json
-
     return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def assert_unauthenticated_client_rejected(runner: ParallelExperimentRunner) -> bool:
+    """With a queue secret set, a secret-less client must be turned away
+    before any of its bytes are unpickled.  Returns whether the check ran
+    (it needs the sweep's TCP server to be up)."""
+    queue = runner._distributed_queue
+    if not isinstance(queue, QueueServer):
+        return False
+    intruder = NetWorkQueue(queue.url, secret="", retries=0)  # explicitly unkeyed
+    try:
+        intruder.stats()
+    except QueueAuthError as exc:
+        print(f"unauthenticated client rejected as expected: {exc}")
+        return True
+    raise AssertionError("a client without REPRO_QUEUE_SECRET was accepted by the queue server")
 
 
 def kill_one_worker_mid_sweep(
@@ -103,9 +127,17 @@ def main(store_dir: str | None = None) -> None:
         )
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
     transport = os.environ.get("REPRO_BENCH_TRANSPORT", "file")
+    progress_interval = float(os.environ.get("REPRO_BENCH_PROGRESS", "2"))
+    secured = bool(os.environ.get("REPRO_QUEUE_SECRET"))
     assert transport in ("file", "tcp"), f"unknown REPRO_BENCH_TRANSPORT {transport!r}"
     context = job_context(scale=0.25)
     splits = demo_splits(context.workload.name)
+    snapshots: list = []
+
+    def on_progress(snapshot) -> None:
+        snapshots.append(snapshot)
+        print(f"progress {snapshot.describe()}")
+
     runner = ParallelExperimentRunner(
         context.dispatch_source,
         context.workload,
@@ -119,12 +151,15 @@ def main(store_dir: str | None = None) -> None:
             shard_count=4,
             lease_timeout_s=3.0,
             queue_url="tcp://127.0.0.1:0" if transport == "tcp" else None,
+            progress_interval_s=progress_interval,
         ),
+        progress_callback=on_progress,
     )
     store = runner.result_store
     tasks = runner.tasks_for(METHODS, splits, repeats=2)
     print(f"running {len(tasks)} tasks on {workers} queue workers "
-          f"({transport} transport, sharded store: {store_dir}) ...")
+          f"({transport} transport{', HMAC-authenticated' if secured else ''}, "
+          f"sharded store: {store_dir}) ...")
 
     # --- sweep 1: coordinator in a thread, one worker killed mid-sweep -----
     outcome: dict[str, list] = {}
@@ -133,6 +168,14 @@ def main(store_dir: str | None = None) -> None:
     )
     start = time.perf_counter()
     coordinator.start()
+    auth_checked = False
+    if secured and transport == "tcp":
+        # While the sweep runs, an unkeyed client must bounce off the server.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not auth_checked and coordinator.is_alive():
+            if runner._distributed_queue is not None:
+                auth_checked = assert_unauthenticated_client_rejected(runner)
+            time.sleep(0.05)
     killed = kill_one_worker_mid_sweep(runner, coordinator)
     coordinator.join(timeout=1800)
     assert not coordinator.is_alive(), "coordinator did not finish"
@@ -143,8 +186,22 @@ def main(store_dir: str | None = None) -> None:
         "(was the store already populated? the crash demo needs a fresh store dir)"
     )
     print(f"first sweep survived the kill in {time.perf_counter() - start:.1f} s; "
-          f"{runner._distributed_requeued} expired claim(s) re-queued; {store.describe()}")
+          f"{runner._distributed_requeued} expired claim(s) re-queued; "
+          f"{runner._distributed_stolen} pending task(s) stolen between shards; "
+          f"{store.describe()}")
     assert runner._distributed_requeued >= 1, "the dead worker's claim was never re-queued"
+
+    # --- progress telemetry: at least one valid machine-readable snapshot ---
+    assert snapshots, "the sweep emitted no progress snapshot"
+    final_snapshot = snapshots[-1]
+    assert final_snapshot.done == final_snapshot.total == len(tasks), (
+        f"final snapshot incomplete: {final_snapshot.describe()}"
+    )
+    json.loads(final_snapshot.to_json())  # must round-trip as plain JSON
+    store.save_artifact("progress-final", final_snapshot.to_dict())
+    print(f"emitted {len(snapshots)} progress snapshot(s); final: {final_snapshot.describe()}")
+    if secured and transport == "tcp":
+        assert auth_checked, "the unauthenticated-client check never ran"
     if transport == "tcp":
         # No shared queue directory exists, and every result entered the store
         # through the coordinator's upload sink, not through the workers.

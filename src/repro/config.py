@@ -311,6 +311,25 @@ class RuntimeConfig:
             *failed* task (transient errors: OOM-killed imports, flaky I/O)
             before the sweep is aborted; the final error reports the attempt
             count.  ``0`` fails the sweep on the first failure marker.
+        work_stealing: with ``shard_count > 0``, tasks are enqueued into the
+            queue shard their result routes to and each local worker prefers
+            one shard; when enabled (the default) the coordinator's poll loop
+            *steals* pending tasks from loaded shards into shards whose
+            worker went hungry, so unlucky shard assignment never strands an
+            idle worker.  Results are unaffected either way (task identity,
+            not placement, determines every result byte).
+        progress_interval_s: emit a machine-readable
+            :class:`~repro.runtime.progress.ProgressSnapshot` from the
+            coordinator every this many seconds during a distributed sweep
+            (``None`` disables periodic polling; a final end-of-sweep
+            snapshot is still taken whenever a ``progress_callback`` is
+            installed on the runner).
+        queue_secret: shared HMAC secret authenticating every TCP queue frame
+            (workers must present the same secret, usually via the
+            ``REPRO_QUEUE_SECRET`` environment variable, which is also the
+            fallback when this is ``None``).  Unauthenticated or mis-signed
+            frames are rejected *before* unpickling.  Ignored by the file
+            transport (filesystem permissions are its access control).
     """
 
     workers: int = 1
@@ -323,6 +342,9 @@ class RuntimeConfig:
     queue_url: str | None = None
     lease_timeout_s: float = 60.0
     task_retries: int = 1
+    work_stealing: bool = True
+    progress_interval_s: float | None = None
+    queue_secret: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -339,6 +361,8 @@ class RuntimeConfig:
             raise ValueError("RuntimeConfig.lease_timeout_s must be positive")
         if self.task_retries < 0:
             raise ValueError("RuntimeConfig.task_retries must be >= 0")
+        if self.progress_interval_s is not None and self.progress_interval_s <= 0:
+            raise ValueError("RuntimeConfig.progress_interval_s must be positive (or None)")
         if self.queue_url is not None:
             # Validate with the one real parser (lazy import: repro.runtime
             # depends on this module at class-definition time, not vice versa)

@@ -18,7 +18,12 @@ scales with the hardware:
   coordinating distributed sweeps over a shared filesystem.
 * :mod:`repro.runtime.netqueue` — the TCP implementation: a coordinator-side
   :class:`QueueServer` plus the :class:`NetWorkQueue` worker client, with
-  results uploaded back in the ack frame — no shared filesystem required.
+  results uploaded back in the ack frame — no shared filesystem required —
+  and optional HMAC frame authentication (``REPRO_QUEUE_SECRET``) verified
+  before anything is unpickled.
+* :mod:`repro.runtime.progress` — the :class:`SweepProgress` reporter that
+  turns live queue stats into periodic machine-readable
+  :class:`ProgressSnapshot`\\ s (throughput, ETA, per-worker counts).
 * :mod:`repro.runtime.worker` — the ``python -m repro.runtime.worker``
   claim-execute-ack loop run on each participating host, against either
   transport.
@@ -37,14 +42,21 @@ from repro.runtime.fingerprint import (
     stable_hash,
     stable_seed,
 )
-from repro.runtime.netqueue import NetWorkQueue, QueueServer
+from repro.runtime.netqueue import (
+    NetWorkQueue,
+    QueueAuthError,
+    QueueServer,
+    resolve_queue_secret,
+)
 from repro.runtime.plan_cache import CacheStats, PlanCache
+from repro.runtime.progress import ProgressSnapshot, SweepProgress
 from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
 from repro.runtime.workqueue import (
     QueueAddress,
     QueueStats,
     QueueTransport,
     ResultUpload,
+    StolenTask,
     TaskClaim,
     WorkerQueueTransport,
     WorkQueue,
@@ -69,18 +81,23 @@ __all__ = [
     "ParallelExperimentRunner",
     "SpecTaskPayload",
     "PlanCache",
+    "ProgressSnapshot",
     "QueueAddress",
+    "QueueAuthError",
     "QueueServer",
     "QueueStats",
     "QueueTransport",
     "ResultStore",
     "ResultUpload",
     "ShardedResultStore",
+    "StolenTask",
+    "SweepProgress",
     "TaskClaim",
     "TaskKey",
     "WorkQueue",
     "WorkerQueueTransport",
     "parse_queue_url",
+    "resolve_queue_secret",
     "canonical_query_text",
     "config_fingerprint",
     "hints_fingerprint",

@@ -12,7 +12,10 @@ coordinator: a sweep can span hosts that share nothing but a network route.
 
 Wire protocol — one request frame and one response frame per connection::
 
-    MAGIC (2 bytes, b"RQ") | length (4 bytes, big endian) | pickle(payload)
+    unsigned: MAGIC b"RQ" | length (4 bytes, big endian) | pickle(payload)
+    signed:   MAGIC b"RS" | length (4 bytes, big endian)
+              | HMAC-SHA256(secret, header + payload) (32 bytes) | pickle(payload)
+    error:    MAGIC b"RE" | length (4 bytes, big endian) | utf-8 message
 
 Leases are tracked server-side with ``time.monotonic()``: claim, renew and
 expiry all read one clock on one host, so the cross-host clock-skew hazards
@@ -20,13 +23,23 @@ of mtime-based leases cannot arise here by construction.
 
 Frames are pickled because task payloads are arbitrary Python objects
 (:class:`~repro.runtime.parallel.SpecTaskPayload`), exactly as the file queue
-pickles its task files.  Like any pickle-over-socket protocol this trusts the
-network — run sweeps on a private interface, as you would for ``Dask`` or a
-``multiprocessing`` manager.
+pickles its task files.  ``pickle.loads`` on bytes from the network is remote
+code execution for whoever can write those bytes, so on any interface that is
+not strictly private, set a **shared queue secret** (``REPRO_QUEUE_SECRET``
+or ``RuntimeConfig.queue_secret``): both sides then sign every frame with
+HMAC-SHA256 and *verify the signature before unpickling* — an unsigned,
+tampered or wrongly-keyed frame is rejected while still opaque bytes, and the
+peer gets a plain-text ``RE`` error frame (never a pickled response).  The
+HMAC authenticates and integrity-protects frames; it does **not** encrypt
+them (payloads are readable on the wire) and does not prevent replay — for
+confidentiality run the port through a TLS tunnel or private network.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import pickle
 import socket
 import socketserver
@@ -37,23 +50,103 @@ from dataclasses import dataclass
 
 from repro.errors import ExperimentError
 from repro.runtime.result_store import ResultStore
-from repro.runtime.workqueue import QueueStats, ResultUpload, TaskClaim
+from repro.runtime.workqueue import QueueStats, ResultUpload, StolenTask, TaskClaim, plan_steal
 
 #: Frame header: magic + payload length.
 MAGIC = b"RQ"
+#: Magic of an HMAC-signed frame (header + 32-byte digest + payload).
+MAGIC_SIGNED = b"RS"
+#: Magic of a plain-text error frame (sent instead of a pickled response when
+#: a request fails authentication — the peer is untrusted by definition).
+MAGIC_ERROR = b"RE"
 _HEADER = struct.Struct(">2sI")
+
+#: Size of the HMAC-SHA256 digest carried by signed frames.
+DIGEST_SIZE = hashlib.sha256().digest_size
 
 #: Hard bound on one frame; a SpecTaskPayload or result dict is kilobytes.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+#: Hard bound on an error frame's message.
+MAX_ERROR_BYTES = 4096
+
+#: How much of a rejected *unsigned* frame's payload is drained before the
+#: connection is dropped.  Draining lets the error frame reach a
+#: legitimate-but-misconfigured worker — closing with unread bytes in the
+#: receive queue makes the TCP stack RST and discard our just-written reply —
+#: while the bound keeps an unsigned frame from feeding us 64 MB pre-auth.
+#: (A *signed* frame must be read in full before its MAC can be checked; the
+#: per-frame deadline below bounds how long such a read can be strung out.)
+MAX_AUTH_DRAIN_BYTES = 1024 * 1024
+
+#: Server-side deadline for receiving one complete frame: a peer that
+#: trickles bytes (or stalls mid-frame) releases its handler thread — and
+#: whatever buffer it accumulated — after this long, instead of pinning both
+#: for the life of the sweep.  A deadline, not a per-recv timeout: trickling
+#: one byte every few seconds does not reset it.
+SERVER_TIMEOUT_S = 30.0
+
 #: Default client-side socket timeout (connect + one request/response pair).
 CLIENT_TIMEOUT_S = 30.0
 
+#: Environment variable carrying the shared frame-signing secret.
+QUEUE_SECRET_ENV = "REPRO_QUEUE_SECRET"
 
-def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+#: Default transient-connection retry budget of :class:`NetWorkQueue` — a
+#: refused/reset connection is retried with exponential backoff this many
+#: times before it is treated as a dead coordinator.
+CLIENT_RETRIES = 3
+CLIENT_BACKOFF_S = 0.2
+
+
+class FrameAuthError(ConnectionError):
+    """A frame failed authentication (wrong/missing signature or secret).
+
+    Raised *before* the payload is unpickled: the frame is still opaque bytes
+    when rejected.  Subclasses :class:`ConnectionError` so transport plumbing
+    that drops broken connections drops unauthenticated peers the same way.
+    """
+
+
+class QueueAuthError(ExperimentError):
+    """The peer rejected our frames as unauthenticated/mis-keyed.
+
+    Deliberately *not* an :class:`OSError`: a worker whose secret does not
+    match the coordinator must fail loudly, not read the rejection as a
+    finished sweep and exit 0.
+    """
+
+
+def resolve_queue_secret(value: str | bytes | None = None) -> bytes | None:
+    """Normalize a queue secret: explicit value, else ``REPRO_QUEUE_SECRET``.
+
+    Returns ``None`` (authentication disabled) for an unset/empty secret; an
+    explicit empty string forces authentication off even when the environment
+    variable is set.
+    """
+    if value is None:
+        value = os.environ.get(QUEUE_SECRET_ENV)
+    if not value:
+        return None
+    return value.encode("utf-8") if isinstance(value, str) else bytes(value)
+
+
+def _frame_digest(secret: bytes, header: bytes, blob: bytes) -> bytes:
+    return hmac.new(secret, header + blob, hashlib.sha256).digest()
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int, deadline: float | None = None) -> bytes:
+    """Read exactly ``n_bytes``; with a ``deadline`` (monotonic), the whole
+    read must finish by then — each recv's timeout is the remaining budget,
+    so a trickling peer cannot reset the clock chunk by chunk."""
     chunks = []
     remaining = n_bytes
     while remaining:
+        if deadline is not None:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise ConnectionError("peer exceeded the frame deadline")
+            sock.settimeout(budget)
         chunk = sock.recv(remaining)
         if not chunk:
             raise ConnectionError("peer closed the connection mid-frame")
@@ -62,20 +155,65 @@ def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, payload: object) -> None:
+def send_frame(sock: socket.socket, payload: object, secret: bytes | None = None) -> None:
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if len(blob) > MAX_FRAME_BYTES:
         raise ExperimentError(f"queue frame of {len(blob)} bytes exceeds {MAX_FRAME_BYTES}")
-    sock.sendall(_HEADER.pack(MAGIC, len(blob)) + blob)
+    if secret is None:
+        sock.sendall(_HEADER.pack(MAGIC, len(blob)) + blob)
+    else:
+        header = _HEADER.pack(MAGIC_SIGNED, len(blob))
+        sock.sendall(header + _frame_digest(secret, header, blob) + blob)
 
 
-def recv_frame(sock: socket.socket) -> object:
-    magic, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    if magic != MAGIC:
-        raise ConnectionError(f"bad queue frame magic {magic!r}")
+def send_error_frame(sock: socket.socket, message: str) -> None:
+    """Send a plain-text (never pickled) rejection to an untrusted peer."""
+    blob = message.encode("utf-8")[:MAX_ERROR_BYTES]
+    sock.sendall(_HEADER.pack(MAGIC_ERROR, len(blob)) + blob)
+
+
+def recv_frame(
+    sock: socket.socket, secret: bytes | None = None, deadline: float | None = None
+) -> object:
+    """Receive one frame; with a ``secret``, authenticate it *before* unpickling.
+
+    Raises :class:`FrameAuthError` for unsigned/mis-signed frames while the
+    payload is still opaque bytes — an untrusted peer can never reach
+    ``pickle.loads`` on a secret-bearing endpoint — and :class:`QueueAuthError`
+    when the *peer* sent back an error frame rejecting us.  ``deadline``
+    (monotonic) bounds the whole receive, recv by recv.
+    """
+    header = _recv_exact(sock, _HEADER.size, deadline)
+    magic, length = _HEADER.unpack(header)
+    if magic == MAGIC_ERROR:
+        if length > MAX_ERROR_BYTES:
+            raise ConnectionError(f"oversized queue error frame ({length} bytes)")
+        raise QueueAuthError(_recv_exact(sock, length, deadline).decode("utf-8", errors="replace"))
     if length > MAX_FRAME_BYTES:
         raise ConnectionError(f"oversized queue frame ({length} bytes)")
-    return pickle.loads(_recv_exact(sock, length))
+    if magic == MAGIC_SIGNED:
+        digest = _recv_exact(sock, DIGEST_SIZE, deadline)
+        blob = _recv_exact(sock, length, deadline)
+        if secret is None:
+            raise FrameAuthError(
+                "peer sent a signed queue frame but no queue secret is configured here; "
+                f"set {QUEUE_SECRET_ENV} to the shared secret"
+            )
+        if not hmac.compare_digest(digest, _frame_digest(secret, header, blob)):
+            raise FrameAuthError("queue frame signature mismatch (wrong or stale secret)")
+        return pickle.loads(blob)
+    if magic == MAGIC:
+        if secret is not None:
+            # Authenticate-then-parse: the unsigned payload is drained (so the
+            # error reply is not lost to a TCP reset over unread bytes, see
+            # MAX_AUTH_DRAIN_BYTES) but never unpickled.
+            _recv_exact(sock, min(length, MAX_AUTH_DRAIN_BYTES), deadline)
+            raise FrameAuthError(
+                f"unauthenticated queue frame rejected: this endpoint requires "
+                f"HMAC-signed frames (set {QUEUE_SECRET_ENV} to the shared secret)"
+            )
+        return pickle.loads(_recv_exact(sock, length, deadline))
+    raise ConnectionError(f"bad queue frame magic {magic!r}")
 
 
 @dataclass
@@ -89,16 +227,29 @@ class _Lease:
 
 class _FrameHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised through the client
+        secret = self.server.queue._secret
+        # One deadline for the whole request frame: a peer that trickles
+        # bytes cannot pin this thread (or its growing buffer) indefinitely.
+        deadline = time.monotonic() + SERVER_TIMEOUT_S
         try:
-            request = recv_frame(self.request)
-        except (ConnectionError, OSError, pickle.UnpicklingError):
+            request = recv_frame(self.request, secret=secret, deadline=deadline)
+        except FrameAuthError as exc:
+            # The peer failed authentication: answer with a plain-text error
+            # frame (telling a legitimate-but-misconfigured worker why it is
+            # being turned away) and never a pickled response.
+            try:
+                send_error_frame(self.request, f"queue server rejected the frame: {exc}")
+            except OSError:
+                pass
+            return
+        except (QueueAuthError, ConnectionError, OSError, pickle.UnpicklingError):
             return
         try:
             response = self.server.queue._dispatch(request)
         except Exception as exc:  # surface server-side errors to the caller
             response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         try:
-            send_frame(self.request, response)
+            send_frame(self.request, response, secret=secret)
         except OSError:
             pass
 
@@ -128,16 +279,27 @@ class QueueServer:
         port: int = 0,
         lease_timeout_s: float = 60.0,
         result_store: ResultStore | None = None,
+        secret: str | bytes | None = None,
+        hungry_ttl_s: float = 30.0,
     ) -> None:
         if lease_timeout_s <= 0:
             raise ExperimentError("QueueServer.lease_timeout_s must be positive")
         self.lease_timeout_s = float(lease_timeout_s)
+        self.hungry_ttl_s = float(hungry_ttl_s)
         self.result_store = result_store
+        #: Frame-signing secret (explicit, else REPRO_QUEUE_SECRET, else off).
+        self._secret = resolve_queue_secret(secret)
         self._lock = threading.Lock()
+        #: Shared root pool (unsharded enqueues + re-queued expired leases).
         self._pending: dict[str, object] = {}
+        #: Per-shard pending partitions (tasks with shard affinity).
+        self._shard_pending: dict[int, dict[str, object]] = {}
+        #: Last empty-handed preferred-shard claim, per shard (monotonic).
+        self._hungry: dict[int, float] = {}
         self._claims: dict[str, _Lease] = {}
         self._done: set[str] = set()
         self._failed: dict[str, str] = {}
+        self._worker_done: dict[str, int] = {}
         self._stop = False
         self._server = _ThreadedTCPServer((host, port), _FrameHandler)
         self._server.queue = self
@@ -164,18 +326,60 @@ class QueueServer:
         self._thread.join(timeout=10)
 
     # ------------------------------------------------------------------ coordinator
-    def enqueue(self, task_id: str, payload: object) -> None:
+    def enqueue(self, task_id: str, payload: object, shard: int | None = None) -> None:
         with self._lock:
-            self._pending[task_id] = payload
+            if shard is None:
+                self._pending[task_id] = payload
+            else:
+                if shard < 0:
+                    raise ExperimentError(f"queue shard must be >= 0, got {shard}")
+                self._shard_pending.setdefault(shard, {})[task_id] = payload
 
     def requeue_expired(self) -> list[str]:
-        """Re-queue every claim whose lease deadline (monotonic) has passed."""
+        """Re-queue every claim whose lease deadline (monotonic) has passed.
+
+        Expired claims return to the shared *root* pool rather than their
+        original shard: the shard's own worker may be the one that died, and
+        the root pool is claimable by every worker.
+        """
         now = time.monotonic()
         with self._lock:
             expired = sorted(tid for tid, lease in self._claims.items() if lease.deadline < now)
             for task_id in expired:
                 self._pending[task_id] = self._claims.pop(task_id).payload
         return expired
+
+    def rebalance(self) -> list[StolenTask]:
+        """Steal pending work for starving shards (mirrors ``WorkQueue.rebalance``).
+
+        Moves tasks between in-memory pending partitions under the lock, so a
+        task is claimable from exactly one partition at any instant; the
+        stolen-to shard's hungry mark is consumed by the move.
+        """
+        now = time.monotonic()
+        moved: list[StolenTask] = []
+        with self._lock:
+            for hungry_shard in sorted(self._hungry):
+                if now - self._hungry[hungry_shard] > self.hungry_ttl_s:
+                    del self._hungry[hungry_shard]  # stale signal: nobody is waiting
+                    continue
+                if self._shard_pending.get(hungry_shard):
+                    del self._hungry[hungry_shard]  # shard has work again
+                    continue
+                plan = plan_steal({
+                    shard: sorted(bucket)
+                    for shard, bucket in self._shard_pending.items()
+                    if shard != hungry_shard
+                })
+                if plan is None:
+                    continue  # nothing to steal; keep the mark for the next sweep
+                source, names = plan
+                target = self._shard_pending.setdefault(hungry_shard, {})
+                for name in names:
+                    target[name] = self._shard_pending[source].pop(name)
+                    moved.append(StolenTask(name, source, hungry_shard))
+                del self._hungry[hungry_shard]
+        return moved
 
     def discard_failure(self, task_id: str) -> bool:
         with self._lock:
@@ -184,12 +388,19 @@ class QueueServer:
     def reset(self) -> int:
         with self._lock:
             removed = (
-                len(self._pending) + len(self._claims) + len(self._done) + len(self._failed)
+                len(self._pending)
+                + sum(len(bucket) for bucket in self._shard_pending.values())
+                + len(self._claims)
+                + len(self._done)
+                + len(self._failed)
             )
             self._pending.clear()
+            self._shard_pending.clear()
+            self._hungry.clear()
             self._claims.clear()
             self._done.clear()
             self._failed.clear()
+            self._worker_done.clear()
             self._stop = False
         return removed
 
@@ -203,18 +414,48 @@ class QueueServer:
         return self._stop
 
     # ------------------------------------------------------------------ worker ops
-    def claim(self, worker_id: str) -> TaskClaim | None:
+    def claim(self, worker_id: str, shard: int | None = None) -> TaskClaim | None:
+        """Pop one pending task (lowest id first, file-queue parity).
+
+        With a preferred ``shard``: that shard's partition first, then the
+        shared root pool — never other shards; a fully empty scan records the
+        shard as hungry so the coordinator's :meth:`rebalance` steals work
+        over.  Without one, the globally lowest task id across every partition
+        wins.
+        """
+        if shard is not None and shard < 0:
+            # Mirror the file transport: a misconfigured worker must fail
+            # fast, not register a phantom partition that rebalance would
+            # steal live tasks into (stranding them for every pinned worker).
+            raise ExperimentError(f"queue shard must be >= 0, got {shard}")
         with self._lock:
-            if not self._pending:
+            task_id, bucket = self._pick_locked(shard)
+            if task_id is None:
+                if shard is not None:
+                    self._hungry[shard] = time.monotonic()
                 return None
-            task_id = min(self._pending)  # file-queue parity: lowest id first
-            payload = self._pending.pop(task_id)
+            payload = bucket.pop(task_id)
             self._claims[task_id] = _Lease(
                 worker_id=worker_id,
                 deadline=time.monotonic() + self.lease_timeout_s,
                 payload=payload,
             )
         return TaskClaim(task_id=task_id, payload=payload)
+
+    def _pick_locked(self, shard: int | None) -> tuple[str | None, dict | None]:
+        """The (task id, owning bucket) a claim should take; caller holds the lock."""
+        if shard is not None:
+            bucket = self._shard_pending.get(shard)
+            if bucket:
+                return min(bucket), bucket
+            if self._pending:
+                return min(self._pending), self._pending
+            return None, None
+        buckets = [self._pending, *self._shard_pending.values()]
+        candidates = [(min(bucket), bucket) for bucket in buckets if bucket]
+        if not candidates:
+            return None, None
+        return min(candidates, key=lambda pair: pair[0])
 
     def renew(self, claim: TaskClaim) -> None:
         self._renew_id(claim.task_id)
@@ -241,7 +482,11 @@ class QueueServer:
             # possibly re-claimed): the result is identical either way, so the
             # ack wins and the duplicate pending/claimed entry is dropped.
             self._pending.pop(task_id, None)
-            self._done.add(task_id)
+            for bucket in self._shard_pending.values():
+                bucket.pop(task_id, None)
+            if task_id not in self._done:
+                self._done.add(task_id)
+                self._worker_done[worker_id] = self._worker_done.get(worker_id, 0) + 1
 
     def fail(self, claim: TaskClaim, worker_id: str, error: str) -> None:
         self._fail_id(claim.task_id, worker_id, error)
@@ -254,7 +499,10 @@ class QueueServer:
     # ------------------------------------------------------------------ inspection
     def pending_ids(self) -> set[str]:
         with self._lock:
-            return set(self._pending)
+            ids = set(self._pending)
+            for bucket in self._shard_pending.values():
+                ids.update(bucket)
+            return ids
 
     def claimed_ids(self) -> set[str]:
         with self._lock:
@@ -268,6 +516,11 @@ class QueueServer:
         with self._lock:
             return dict(self._failed)
 
+    def worker_done_counts(self) -> dict[str, int]:
+        """Completed-task counts per worker id (from the acks received)."""
+        with self._lock:
+            return dict(self._worker_done)
+
     def has_live_claims(self) -> bool:
         now = time.monotonic()
         with self._lock:
@@ -275,11 +528,17 @@ class QueueServer:
 
     def stats(self) -> QueueStats:
         with self._lock:
+            shard_pending = tuple(
+                (shard, len(bucket))
+                for shard, bucket in sorted(self._shard_pending.items())
+                if bucket
+            )
             return QueueStats(
-                pending=len(self._pending),
+                pending=len(self._pending) + sum(count for _, count in shard_pending),
                 claimed=len(self._claims),
                 done=len(self._done),
                 failed=len(self._failed),
+                shard_pending=shard_pending,
             )
 
     def describe(self) -> str:
@@ -291,7 +550,11 @@ class QueueServer:
             return {"ok": False, "error": "malformed queue request"}
         op = request["op"]
         if op == "claim":
-            claim = self.claim(str(request.get("worker_id", "unknown")))
+            shard = request.get("shard")
+            claim = self.claim(
+                str(request.get("worker_id", "unknown")),
+                shard=int(shard) if shard is not None else None,
+            )
             if claim is None:
                 return {"ok": True, "task_id": None, "payload": None}
             return {"ok": True, "task_id": claim.task_id, "payload": claim.payload}
@@ -324,7 +587,10 @@ class QueueServer:
                 "claimed": stats.claimed,
                 "done": stats.done,
                 "failed": stats.failed,
+                "shard_pending": list(stats.shard_pending),
             }
+        if op == "worker_counts":
+            return {"ok": True, "workers": self.worker_done_counts()}
         return {"ok": False, "error": f"unknown queue op {op!r}"}
 
 
@@ -332,35 +598,78 @@ class NetWorkQueue:
     """Worker-side client of a :class:`QueueServer` (one frame per connection).
 
     Implements the :class:`~repro.runtime.workqueue.WorkerQueueTransport`
-    surface.  A coordinator that stopped answering is treated as a finished
-    sweep: ``claim`` returns ``None`` and ``stop_requested`` returns ``True``,
-    so orphaned workers drain out instead of erroring or polling forever —
-    any half-finished task's lease has died with the server anyway.
+    surface.  Transient socket errors (a refused connection during a
+    coordinator restart, a dropped SYN) are retried ``retries`` times with
+    exponential backoff; only after the budget is exhausted is the
+    coordinator treated as gone — then ``claim`` returns ``None`` and
+    ``stop_requested`` returns ``True``, so orphaned workers drain out
+    instead of erroring or polling forever (any half-finished task's lease
+    has died with the server anyway).  An *authentication* rejection is
+    never retried and never reads as stop: it raises :class:`QueueAuthError`
+    so a mis-keyed worker fails loudly.
     """
 
     wants_results = True
 
-    def __init__(self, url: str, timeout_s: float = CLIENT_TIMEOUT_S) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = CLIENT_TIMEOUT_S,
+        secret: str | bytes | None = None,
+        retries: int = CLIENT_RETRIES,
+        backoff_s: float = CLIENT_BACKOFF_S,
+    ) -> None:
         from repro.runtime.workqueue import parse_queue_url
 
         address = parse_queue_url(url)
         if address.scheme != "tcp":
             raise ExperimentError(f"NetWorkQueue needs a tcp:// url, got {url!r}")
+        if retries < 0:
+            raise ExperimentError("NetWorkQueue.retries must be >= 0")
         self.host, self.port = address.host, address.port
         self.timeout_s = timeout_s
+        self.secret = resolve_queue_secret(secret)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
 
-    def _request(self, request: dict) -> dict:
+    def _request_once(self, request: dict) -> dict:
         with socket.create_connection((self.host, self.port), timeout=self.timeout_s) as sock:
-            send_frame(sock, request)
-            response = recv_frame(sock)
+            send_frame(sock, request, secret=self.secret)
+            response = recv_frame(sock, secret=self.secret)
         if not isinstance(response, dict) or not response.get("ok"):
             error = response.get("error", "malformed response") if isinstance(response, dict) else response
             raise ExperimentError(f"queue server at {self.host}:{self.port} rejected {request.get('op')!r}: {error}")
         return response
 
-    def claim(self, worker_id: str) -> TaskClaim | None:
+    def _request(self, request: dict) -> dict:
+        """One request/response pair, retrying transient socket failures.
+
+        Retries are bounded and only cover ``OSError`` (connection refused or
+        reset, timeouts): a single refused connection mid-sweep — e.g. the
+        coordinator's listen socket bouncing during a restart — used to read
+        as a stop signal and drain every worker.  :class:`QueueAuthError` and
+        server-side rejections propagate immediately.
+        """
+        delay = self.backoff_s
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(request)
+            except QueueAuthError:
+                raise  # misconfigured secret: retrying cannot help
+            except OSError:
+                if attempt == self.retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+
+    def claim(self, worker_id: str, shard: int | None = None) -> TaskClaim | None:
+        request = {"op": "claim", "worker_id": worker_id}
+        if shard is not None:
+            request["shard"] = shard
         try:
-            response = self._request({"op": "claim", "worker_id": worker_id})
+            response = self._request(request)
+        except QueueAuthError:
+            raise
         except OSError:
             return None  # server gone; stop_requested() tells the loop to exit
         if response["task_id"] is None:
@@ -370,6 +679,8 @@ class NetWorkQueue:
     def renew(self, claim: TaskClaim) -> None:
         try:
             self._request({"op": "renew", "task_id": claim.task_id})
+        except QueueAuthError:
+            raise  # rotated/mis-keyed secret: fail loudly, like claim and ack
         except (OSError, ExperimentError):
             pass  # a missed heartbeat at worst expires the lease
 
@@ -402,7 +713,14 @@ class NetWorkQueue:
             claimed=response["claimed"],
             done=response["done"],
             failed=response["failed"],
+            shard_pending=tuple(
+                (int(shard), int(count)) for shard, count in response.get("shard_pending", [])
+            ),
         )
+
+    def worker_done_counts(self) -> dict[str, int]:
+        response = self._request({"op": "worker_counts"})
+        return {str(worker): int(count) for worker, count in response.get("workers", {}).items()}
 
     def describe(self) -> str:
         return f"NetWorkQueue(tcp://{self.host}:{self.port})"

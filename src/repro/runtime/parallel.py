@@ -61,7 +61,7 @@ import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Union
+from typing import Callable, Union
 
 from repro.config import PostgresConfig, RuntimeConfig
 from repro.core.experiment import ExperimentConfig, ExperimentRunner
@@ -70,6 +70,7 @@ from repro.core.splits import DatasetSplit
 from repro.errors import ExperimentError
 from repro.runtime.fingerprint import stable_seed
 from repro.runtime.plan_cache import PlanCache
+from repro.runtime.progress import DEFAULT_PROGRESS_INTERVAL_S, ProgressSnapshot, SweepProgress
 from repro.runtime.result_store import ResultStore, ShardedResultStore, TaskKey
 from repro.runtime.workqueue import QueueAddress, QueueTransport, WorkQueue, parse_queue_url
 from repro.storage.database import Database
@@ -270,6 +271,7 @@ class ParallelExperimentRunner:
         experiment_config: ExperimentConfig | None = None,
         runtime_config: RuntimeConfig | None = None,
         result_store: ResultStore | None = None,
+        progress_callback: "Callable[[ProgressSnapshot], None] | None" = None,
     ) -> None:
         #: The dispatchable recipe: either the spec passed in, or the one the
         #: database carries from its factory build.  ``None`` means the
@@ -297,14 +299,24 @@ class ParallelExperimentRunner:
                     skip_existing=self.runtime_config.skip_existing,
                 )
         self.result_store = result_store
+        #: Called with every :class:`ProgressSnapshot` a distributed sweep's
+        #: reporter takes (periodic plus the final end-of-sweep snapshot).
+        self.progress_callback = progress_callback
         #: Local worker processes of the most recent distributed sweep
         #: (observability: lets callers and the crash-recovery demo reach them).
         self._distributed_procs: list[subprocess.Popen] = []
         #: Number of expired claims the most recent distributed sweep re-queued.
         self._distributed_requeued = 0
+        #: Number of pending tasks the coordinator's work-stealing rebalance
+        #: moved between shards in the most recent distributed sweep.
+        self._distributed_stolen = 0
         #: Coordinator-side queue transport of the most recent distributed
         #: sweep (observability: live ``stats()`` for progress reporting).
         self._distributed_queue: QueueTransport | None = None
+        #: Progress reporter of the most recent distributed sweep (``None``
+        #: until one runs with progress enabled); ``.snapshots`` is the
+        #: telemetry history, ``.latest`` the end-of-sweep snapshot.
+        self._distributed_progress: SweepProgress | None = None
 
     # ------------------------------------------------------------------ grid
     def tasks_for(
@@ -450,6 +462,12 @@ class ParallelExperimentRunner:
         return ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-task")
 
     # ------------------------------------------------------------------ distributed
+    @property
+    def _queue_shard_count(self) -> int:
+        """Queue shards mirror the result store's shards (0 = unsharded)."""
+        store = self.result_store
+        return store.shard_count if isinstance(store, ShardedResultStore) else 0
+
     def _open_coordinator_queue(
         self, store: ResultStore
     ) -> tuple[QueueTransport, str, Path, bool]:
@@ -475,10 +493,15 @@ class ParallelExperimentRunner:
                 port=address.port or 0,
                 lease_timeout_s=config.lease_timeout_s,
                 result_store=store,
+                secret=config.queue_secret,  # None falls back to REPRO_QUEUE_SECRET
             )
             return server, server.url, store.root / "worker-logs", True
         queue_root = Path(address.path) if address.path is not None else store.root / "queue"
-        queue = WorkQueue(queue_root, lease_timeout_s=config.lease_timeout_s)
+        queue = WorkQueue(
+            queue_root,
+            lease_timeout_s=config.lease_timeout_s,
+            shard_count=self._queue_shard_count,
+        )
         return queue, str(queue_root), queue_root / "workers", False
 
     def _run_distributed(self, tasks: list[ExperimentTask]) -> list[MethodRunResult]:
@@ -511,7 +534,11 @@ class ParallelExperimentRunner:
         queue, worker_target, log_dir, detached = self._open_coordinator_queue(store)
         self._distributed_queue = queue
         self._distributed_requeued = 0
+        self._distributed_stolen = 0
+        self._distributed_progress = None
+        shard_count = self._queue_shard_count
         procs: list[subprocess.Popen] = []
+        reporter: SweepProgress | None = None
         try:
             # The coordinator owns the queue: drop whatever a crashed earlier
             # sweep left behind (orphan tasks would be pointlessly re-executed;
@@ -525,6 +552,7 @@ class ParallelExperimentRunner:
             # any earlier sweep that used the same queue directory.
             sweep_id = os.urandom(4).hex()
             payloads: dict[str, SpecTaskPayload] = {}
+            shards: dict[str, int | None] = {}
             for index, (task, key, fingerprint) in enumerate(keyed):
                 if store.skip_existing and store.exists(key, fingerprint):
                     continue  # resume: already stored, never hits the queue
@@ -535,18 +563,58 @@ class ParallelExperimentRunner:
                     # create) a store of their own — the transport carries the
                     # result back instead.
                     payload = replace(payload, store_root=None, store_shards=0)
-                payloads[f"{sweep_id}-{index:04d}"] = payload
+                task_id = f"{sweep_id}-{index:04d}"
+                payloads[task_id] = payload
+                # Queue shard = result shard: a file-transport worker pinned
+                # to this shard claims exactly the tasks whose results it will
+                # write into the matching store shard directory.
+                shards[task_id] = key.shard_index(shard_count) if shard_count else None
             for task_id, payload in payloads.items():
-                queue.enqueue(task_id, payload)
+                queue.enqueue(task_id, payload, shard=shards[task_id])
 
             if payloads:
+                # Workers are pinned to shards only when the coordinator will
+                # steal for them: a pinned worker whose shard holds no tasks
+                # would otherwise starve with no rebalance to feed it.
+                pin_shards = shard_count if config.work_stealing else 0
                 procs = [
-                    self._spawn_worker(worker_target, index, config.lease_timeout_s, log_dir)
+                    self._spawn_worker(
+                        worker_target,
+                        index,
+                        config.lease_timeout_s,
+                        log_dir,
+                        shard=index % pin_shards if pin_shards else None,
+                        secret=config.queue_secret,
+                    )
                     for index in range(min(config.workers, len(payloads)))
                 ]
             self._distributed_procs = procs
+            if config.progress_interval_s is not None or self.progress_callback is not None:
+                reporter = SweepProgress(
+                    queue,
+                    total=len(payloads),
+                    interval_s=config.progress_interval_s or DEFAULT_PROGRESS_INTERVAL_S,
+                    callback=self.progress_callback,
+                    stolen=lambda: self._distributed_stolen,
+                )
+                self._distributed_progress = reporter
+                if payloads and config.progress_interval_s is not None:
+                    # None means no *periodic* polling (as documented on
+                    # RuntimeConfig): a callback alone still receives the
+                    # final end-of-sweep snapshot below.  A fully-resumed
+                    # sweep (nothing enqueued) skips the thread too but still
+                    # emits its final done==total==0 completion snapshot.
+                    reporter.start()
             self._await_queue(queue, payloads, procs, log_dir)
         finally:
+            if reporter is not None:
+                reporter.stop()
+                try:
+                    # The end-of-sweep snapshot: even a sweep shorter than the
+                    # interval emits at least one complete observation.
+                    reporter.poll_once()
+                except Exception:  # pragma: no cover - queue already torn down
+                    pass
             queue.write_stop()
             for proc in procs:
                 try:
@@ -578,6 +646,10 @@ class ParallelExperimentRunner:
                 queue, remaining, payloads, retries_used, self.runtime_config.task_retries
             )
             self._distributed_requeued += len(queue.requeue_expired())
+            if self.runtime_config.work_stealing:
+                # Feed starving shards from loaded ones (no-op while every
+                # preferred-shard worker still finds work where it looks).
+                self._distributed_stolen += len(queue.rebalance())
             if (
                 procs
                 and all(proc.poll() is not None for proc in procs)
@@ -600,8 +672,16 @@ class ParallelExperimentRunner:
         index: int,
         lease_timeout_s: float,
         log_dir: Path | None = None,
+        shard: int | None = None,
+        secret: str | None = None,
     ) -> subprocess.Popen:
-        """Launch one local queue worker against a queue directory or tcp:// url."""
+        """Launch one local queue worker against a queue directory or tcp:// url.
+
+        ``shard`` pins the worker's claim preference to one queue shard (the
+        coordinator's rebalance steals work over when it starves); ``secret``
+        is exported as ``REPRO_QUEUE_SECRET`` — environment, never argv, so it
+        cannot leak through a process listing.
+        """
         target_text = str(target)
         if log_dir is None:
             address = parse_queue_url(target_text)
@@ -614,6 +694,8 @@ class ParallelExperimentRunner:
         env = dict(os.environ)
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = str(source_root) + (os.pathsep + existing if existing else "")
+        if secret is not None:
+            env["REPRO_QUEUE_SECRET"] = secret
         log_dir.mkdir(parents=True, exist_ok=True)
         command = [
             sys.executable,
@@ -633,6 +715,8 @@ class ParallelExperimentRunner:
             # within one lease timeout.
             str(max(10.0 * lease_timeout_s, 300.0)),
         ]
+        if shard is not None:
+            command += ["--shard", str(shard)]
         with open(log_dir / f"local-{index}.log", "ab") as log:
             return subprocess.Popen(command, stdout=log, stderr=subprocess.STDOUT, env=env)
 

@@ -20,6 +20,13 @@ this process is killed, the heartbeat stops with it and the lease expires.
 The worker exits when the coordinator signals stop and no work is claimable
 (for TCP, an unreachable coordinator counts as stop), after ``--max-tasks``
 tasks, or after ``--idle-timeout`` seconds without work.
+
+``--shard N`` pins the worker's claim preference to one queue shard (its
+starvation is what triggers the coordinator's work stealing); ``--progress
+[S]`` prints a machine-readable JSON progress snapshot of the queue every S
+seconds (default 5) to stdout.  Against a secured TCP coordinator, export
+``REPRO_QUEUE_SECRET`` with the shared frame-signing secret — it is read from
+the environment only, never from argv.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import sys
 import threading
 import time
 
+from repro.runtime.progress import SweepProgress
 from repro.runtime.workqueue import (
     ResultUpload,
     TaskClaim,
@@ -38,6 +46,17 @@ from repro.runtime.workqueue import (
     WorkQueue,
     parse_queue_url,
 )
+
+
+#: Serializes every line this process writes to stdout/stderr: the progress
+#: reporter thread and the claim loop share the streams, and two concurrent
+#: ``print``s can tear a JSON snapshot line mid-write otherwise.
+_PRINT_LOCK = threading.Lock()
+
+
+def _emit(line: str, stream=None) -> None:
+    with _PRINT_LOCK:
+        print(line, file=stream if stream is not None else sys.stdout, flush=True)
 
 
 def default_worker_id() -> str:
@@ -69,6 +88,8 @@ def run_worker(
     idle_timeout_s: float | None = None,
     max_tasks: int | None = None,
     lease_renew_s: float = 5.0,
+    shard: int | None = None,
+    progress_interval_s: float | None = None,
 ) -> int:
     """Drain tasks from ``queue_target`` until stopped; returns the number completed."""
     # Imported here so ``python -m repro.runtime.worker --help`` stays instant.
@@ -76,10 +97,41 @@ def run_worker(
 
     queue = open_queue(str(queue_target))
     worker_id = worker_id or default_worker_id()
+    reporter: SweepProgress | None = None
+    if progress_interval_s is not None:
+        reporter = SweepProgress(
+            queue,
+            total=None,  # a worker cannot know the sweep's size, only its state
+            interval_s=progress_interval_s,
+            callback=lambda snapshot: _emit(snapshot.to_json()),
+        ).start()
+    try:
+        completed = _worker_loop(
+            queue, worker_id, poll_interval_s, idle_timeout_s, max_tasks, lease_renew_s, shard,
+            execute_spec_payload, execute_spec_payload_with_identity,
+        )
+    finally:
+        if reporter is not None:
+            reporter.stop()
+    _emit(f"[{worker_id}] exiting after {completed} task(s)")
+    return completed
+
+
+def _worker_loop(
+    queue: WorkerQueueTransport,
+    worker_id: str,
+    poll_interval_s: float,
+    idle_timeout_s: float | None,
+    max_tasks: int | None,
+    lease_renew_s: float,
+    shard: int | None,
+    execute_spec_payload,
+    execute_spec_payload_with_identity,
+) -> int:
     completed = 0
     idle_since = time.monotonic()
     while max_tasks is None or completed < max_tasks:
-        claim = queue.claim(worker_id)
+        claim = queue.claim(worker_id, shard=shard)
         if claim is None:
             if queue.stop_requested():
                 break
@@ -104,7 +156,7 @@ def run_worker(
             stop_heartbeat.set()
             beat.join()
             queue.fail(claim, worker_id, f"{type(exc).__name__}: {exc}")
-            print(f"[{worker_id}] FAILED {claim.task_id}: {exc}", file=sys.stderr, flush=True)
+            _emit(f"[{worker_id}] FAILED {claim.task_id}: {exc}", stream=sys.stderr)
             continue
         stop_heartbeat.set()
         beat.join()
@@ -120,11 +172,10 @@ def run_worker(
                 queue.fail(claim, worker_id, f"ack rejected: {type(exc).__name__}: {exc}")
             except Exception:  # pragma: no cover - transport also down
                 pass
-            print(f"[{worker_id}] ACK REJECTED {claim.task_id}: {exc}", file=sys.stderr, flush=True)
+            _emit(f"[{worker_id}] ACK REJECTED {claim.task_id}: {exc}", stream=sys.stderr)
             continue
         completed += 1
-        print(f"[{worker_id}] completed {claim.task_id}", flush=True)
-    print(f"[{worker_id}] exiting after {completed} task(s)", flush=True)
+        _emit(f"[{worker_id}] completed {claim.task_id}")
     return completed
 
 
@@ -147,6 +198,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--lease-renew", type=float, default=5.0, metavar="S",
                         help="heartbeat interval while executing; keep it well below the "
                         "coordinator's lease timeout (default 5)")
+    parser.add_argument("--shard", type=int, default=None, metavar="N",
+                        help="preferred queue shard to claim from (starvation triggers the "
+                        "coordinator's work stealing); default: claim from every shard")
+    parser.add_argument("--progress", type=float, nargs="?", const=5.0, default=None,
+                        metavar="S", help="print a machine-readable JSON progress snapshot "
+                        "of the queue every S seconds (default 5 when the flag is given)")
     args = parser.parse_args(argv)
     run_worker(
         args.queue,
@@ -155,6 +212,8 @@ def main(argv: list[str] | None = None) -> int:
         idle_timeout_s=args.idle_timeout,
         max_tasks=args.max_tasks,
         lease_renew_s=args.lease_renew,
+        shard=args.shard,
+        progress_interval_s=args.progress,
     )
     return 0
 

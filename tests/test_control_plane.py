@@ -1,0 +1,979 @@
+"""Cross-transport tests of the sweep control plane.
+
+Covers the PR-5 surface on both queue transports (`file://` directory queue
+and `tcp://` in-memory server):
+
+* coordinator-side work stealing (hungry-shard signalling + rebalance),
+* property tests that claim/steal/ack interleavings never duplicate or drop
+  a task (exactly-once visible completion),
+* the HMAC frame authentication of the TCP transport, including a fuzz pass
+  asserting malformed/truncated/unsigned frames error cleanly and an
+  untrusted peer can never reach ``pickle.loads``,
+* the bounded retry/backoff of `NetWorkQueue` against transient socket
+  errors,
+* `QueueStats`/`describe()` edge cases and lease-expiry boundary conditions,
+* a 4-worker stress sweep with stealing enabled, byte-identical to serial.
+"""
+
+import json
+import random
+import socket
+import struct
+import threading
+import time
+import uuid
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SIMULATION_CONFIG, RuntimeConfig
+from repro.core.experiment import ExperimentConfig
+from repro.core.splits import DatasetSplit, SplitSampling
+from repro.errors import ExperimentError
+from repro.experiments.common import distributed_runtime
+from repro.runtime import netqueue
+from repro.runtime.netqueue import (
+    MAGIC_ERROR,
+    FrameAuthError,
+    NetWorkQueue,
+    QueueAuthError,
+    QueueServer,
+    recv_frame,
+    resolve_queue_secret,
+    send_frame,
+)
+from repro.runtime.parallel import ParallelExperimentRunner
+from repro.runtime.workqueue import QueueStats, QueueTransport, StolenTask, WorkQueue
+from repro.storage.registry import get_process_registry
+from repro.storage.spec import DatabaseSpec
+from repro.workloads import build_workload
+
+TRANSPORTS = ("file", "tcp")
+
+
+@pytest.fixture(params=TRANSPORTS)
+def sharded_queue(request, tmp_path):
+    """One queue per transport with 4 shard partitions and a long lease."""
+    if request.param == "file":
+        yield WorkQueue(tmp_path / "q", lease_timeout_s=300, shard_count=4)
+    else:
+        server = QueueServer(lease_timeout_s=300)
+        yield server
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side work stealing
+# ---------------------------------------------------------------------------
+
+
+class TestWorkStealing:
+    def test_hungry_shard_is_fed_from_the_fullest_shard(self, sharded_queue):
+        queue = sharded_queue
+        for index in range(4):
+            queue.enqueue(f"t-{index}", f"payload-{index}", shard=0)
+        queue.enqueue("t-4", "payload-4", shard=2)
+
+        assert queue.claim("starving", shard=1) is None  # marks shard 1 hungry
+        moved = queue.rebalance()
+        assert moved and all(isinstance(entry, StolenTask) for entry in moved)
+        # Stolen from the fullest shard (0, four tasks), not the lean one.
+        assert {entry.from_shard for entry in moved} == {0}
+        assert {entry.to_shard for entry in moved} == {1}
+        revived = queue.claim("starving", shard=1)
+        assert revived is not None and revived.task_id in {entry.task_id for entry in moved}
+
+    def test_rebalance_without_hungry_workers_is_a_noop(self, sharded_queue):
+        for index in range(4):
+            sharded_queue.enqueue(f"t-{index}", "p", shard=0)
+        assert sharded_queue.rebalance() == []
+        assert sharded_queue.stats().pending == 4
+
+    def test_rebalance_noop_when_hungry_shard_got_work_meanwhile(self, sharded_queue):
+        queue = sharded_queue
+        queue.enqueue("other-0", "p", shard=0)
+        assert queue.claim("w", shard=1) is None  # hungry...
+        queue.enqueue("late-0", "p", shard=1)  # ...but work arrived before the sweep
+        assert queue.rebalance() == []  # nothing moved, the mark is consumed
+        assert queue.rebalance() == []
+
+    def test_hungry_mark_is_consumed_by_a_successful_steal(self, sharded_queue):
+        queue = sharded_queue
+        for index in range(4):
+            queue.enqueue(f"t-{index}", "p", shard=0)
+        assert queue.claim("w", shard=1) is None
+        assert queue.rebalance()
+        # The same mark must not keep attracting work on every later sweep.
+        assert queue.rebalance() == []
+
+    def test_nothing_to_steal_keeps_waiting_without_error(self, sharded_queue):
+        assert sharded_queue.claim("w", shard=3) is None
+        assert sharded_queue.rebalance() == []
+
+    def test_stale_hungry_marker_is_ignored(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", shard_count=4, hungry_ttl_s=0.05)
+        queue.enqueue("t-0", "p", shard=0)
+        assert queue.claim("w", shard=1) is None
+        time.sleep(0.1)  # the starving worker has long moved on (or died)
+        assert queue.rebalance() == []
+        assert queue.stats().shard_pending == ((0, 1),)
+
+    def test_stale_hungry_mark_is_ignored_on_server(self, monkeypatch):
+        server = QueueServer(lease_timeout_s=300, hungry_ttl_s=10.0)
+        try:
+            server.enqueue("t-0", "p", shard=0)
+            assert server.claim("w", shard=1) is None
+            real = time.monotonic
+            monkeypatch.setattr(netqueue.time, "monotonic", lambda: real() + 60.0)
+            assert server.rebalance() == []
+        finally:
+            monkeypatch.undo()
+            server.close()
+
+    def test_expired_lease_requeues_into_shared_pool_claimable_by_any_shard(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=0.05, shard_count=4)
+        queue.enqueue("t-0", "payload", shard=0)
+        assert queue.claim("doomed", shard=0) is not None
+        time.sleep(0.1)
+        assert queue.requeue_expired() == ["t-0"]
+        # Shard 3's worker finds it through the root-pool fallback: the
+        # original shard's worker may be the dead one.
+        revived = queue.claim("survivor", shard=3)
+        assert revived is not None and revived.payload == "payload"
+
+    def test_stolen_task_acks_exactly_once(self, sharded_queue):
+        queue = sharded_queue
+        for index in range(3):
+            queue.enqueue(f"t-{index}", "p", shard=0)
+        assert queue.claim("w1", shard=1) is None
+        queue.rebalance()
+        seen = []
+        for worker, shard in (("w0", 0), ("w1", 1), ("w0", 0), ("w1", 1)):
+            claim = queue.claim(worker, shard=shard)
+            if claim is not None:
+                seen.append(claim.task_id)
+                queue.ack(claim, worker)
+        assert sorted(seen) == ["t-0", "t-1", "t-2"]  # nothing lost, nothing doubled
+        assert queue.done_ids() == {"t-0", "t-1", "t-2"}
+        assert queue.stats().pending == 0
+
+    def test_unsharded_worker_scans_every_partition(self, sharded_queue):
+        queue = sharded_queue
+        queue.enqueue("a-0", "root", shard=None)
+        queue.enqueue("b-0", "sharded", shard=2)
+        got = {queue.claim("w").task_id, queue.claim("w").task_id}
+        assert got == {"a-0", "b-0"}
+        assert queue.claim("w") is None
+
+    def test_negative_shard_rejected(self, sharded_queue):
+        with pytest.raises(ExperimentError):
+            sharded_queue.enqueue("t-0", "p", shard=-1)
+        # claim must fail fast too: a hungry mark on a phantom partition would
+        # attract stolen tasks no correctly-pinned worker can ever see.
+        with pytest.raises(ExperimentError):
+            sharded_queue.claim("typo-worker", shard=-1)
+        assert sharded_queue.rebalance() == []
+
+    def test_negative_shard_rejected_over_the_wire(self):
+        server = QueueServer(lease_timeout_s=300)
+        try:
+            client = NetWorkQueue(server.url, retries=0)
+            with pytest.raises(ExperimentError, match="shard must be >= 0"):
+                client.claim("typo-worker", shard=-1)
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# Property: claim/steal/ack interleavings are exactly-once
+# ---------------------------------------------------------------------------
+
+
+def _drain_all(queue, held, acked):
+    """Ack everything held, then claim+ack until the queue is empty."""
+    for task_id, claim in sorted(held.items()):
+        queue.ack(claim, "drain")
+        acked.append(task_id)
+    held.clear()
+    while True:
+        claim = queue.claim("drain")
+        if claim is None:
+            return
+        queue.ack(claim, "drain")
+        acked.append(claim.task_id)
+
+
+@st.composite
+def interleavings(draw):
+    n_tasks = draw(st.integers(min_value=3, max_value=8))
+    shards = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+            min_size=n_tasks,
+            max_size=n_tasks,
+        )
+    )
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("claim"),
+                    st.sampled_from(["w0", "w1", "w2"]),
+                    st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+                ),
+                st.tuples(st.just("ack"), st.integers(min_value=0, max_value=10 ** 6)),
+                st.tuples(st.just("rebalance")),
+            ),
+            max_size=30,
+        )
+    )
+    return n_tasks, shards, ops
+
+
+class TestExactlyOnceProperty:
+    """Random claim/steal/ack interleavings: every task completes exactly once,
+    none is duplicated into two live claims, none is dropped."""
+
+    def _run(self, queue, n_tasks, shards, ops):
+        task_ids = [f"t-{index:02d}" for index in range(n_tasks)]
+        for task_id, shard in zip(task_ids, shards):
+            queue.enqueue(task_id, f"payload-{task_id}", shard=shard)
+        held: dict[str, object] = {}
+        acked: list[str] = []
+        for op in ops:
+            if op[0] == "claim":
+                claim = queue.claim(op[1], shard=op[2])
+                if claim is not None:
+                    # A pending task may be claimed by exactly one worker.
+                    assert claim.task_id not in held, "task claimed twice concurrently"
+                    assert claim.task_id not in acked, "completed task re-claimed"
+                    held[claim.task_id] = claim
+            elif op[0] == "ack" and held:
+                task_id = sorted(held)[op[1] % len(held)]
+                queue.ack(held.pop(task_id), "prop")
+                acked.append(task_id)
+            elif op[0] == "rebalance":
+                for entry in queue.rebalance():
+                    assert entry.task_id not in held, "steal duplicated a live claim"
+                    assert entry.task_id not in acked, "steal resurrected a done task"
+        _drain_all(queue, held, acked)
+        assert sorted(acked) == task_ids, "a task was dropped or duplicated"
+        assert queue.done_ids() == set(task_ids)
+        stats = queue.stats()
+        assert stats.pending == 0 and stats.claimed == 0 and stats.done == n_tasks
+
+    @settings(max_examples=25, deadline=None)
+    @given(scenario=interleavings())
+    def test_file_queue(self, tmp_path_factory, scenario):
+        n_tasks, shards, ops = scenario
+        root = tmp_path_factory.mktemp("prop") / uuid.uuid4().hex
+        self._run(WorkQueue(root, lease_timeout_s=300, shard_count=4), n_tasks, shards, ops)
+
+    @settings(max_examples=25, deadline=None)
+    @given(scenario=interleavings())
+    def test_tcp_server(self, scenario):
+        n_tasks, shards, ops = scenario
+        server = QueueServer(lease_timeout_s=300)
+        try:
+            self._run(server, n_tasks, shards, ops)
+        finally:
+            server.close()
+
+    def test_concurrent_claims_with_rebalance_are_exclusive(self, tmp_path):
+        """Threads hammering claims while a rebalance loop steals: every task
+        is claimed by exactly one thread."""
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=300, shard_count=4)
+        task_ids = [f"t-{index:03d}" for index in range(40)]
+        for index, task_id in enumerate(task_ids):
+            queue.enqueue(task_id, index, shard=index % 2)  # skew into shards 0/1
+
+        claimed: dict[str, list[str]] = {}
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def worker(name: str, shard: int):
+            while not stop.is_set():
+                claim = queue.claim(name, shard=shard)
+                if claim is None:
+                    time.sleep(0.001)
+                    continue
+                with lock:
+                    claimed.setdefault(claim.task_id, []).append(name)
+                queue.ack(claim, name)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w-{index}", index), daemon=True)
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and len(queue.done_ids()) < len(task_ids):
+            queue.rebalance()
+            time.sleep(0.002)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert queue.done_ids() == set(task_ids)
+        doubles = {task: owners for task, owners in claimed.items() if len(owners) > 1}
+        assert not doubles, f"tasks claimed more than once: {doubles}"
+
+
+# ---------------------------------------------------------------------------
+# Frame authentication + codec fuzz
+# ---------------------------------------------------------------------------
+
+
+class _ByteSock:
+    """A socket stand-in replaying a fixed byte string (recv-only)."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+        self.sent = b""
+
+    def recv(self, n_bytes: int) -> bytes:
+        chunk = self.data[self.offset:self.offset + n_bytes]
+        self.offset += len(chunk)
+        return chunk
+
+    def sendall(self, blob: bytes) -> None:
+        self.sent += blob
+
+
+def _frame_bytes(payload: object, secret: bytes | None = None) -> bytes:
+    sock = _ByteSock(b"")
+    send_frame(sock, payload, secret=secret)
+    return sock.sent
+
+
+class TestFrameAuth:
+    SECRET = "control-plane-secret"
+
+    def test_resolve_queue_secret_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_SECRET", raising=False)
+        assert resolve_queue_secret(None) is None
+        assert resolve_queue_secret("abc") == b"abc"
+        assert resolve_queue_secret(b"abc") == b"abc"
+        monkeypatch.setenv("REPRO_QUEUE_SECRET", "from-env")
+        assert resolve_queue_secret(None) == b"from-env"
+        assert resolve_queue_secret("explicit") == b"explicit"
+        assert resolve_queue_secret("") is None  # explicit empty forces auth off
+        monkeypatch.setenv("REPRO_QUEUE_SECRET", "")
+        assert resolve_queue_secret(None) is None
+
+    def test_secured_roundtrip_end_to_end(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_SECRET", raising=False)
+        server = QueueServer(secret=self.SECRET)
+        try:
+            client = NetWorkQueue(server.url, secret=self.SECRET, retries=0)
+            server.enqueue("t-0", {"n": 1})
+            claim = client.claim("w")
+            assert claim is not None and claim.payload == {"n": 1}
+            client.ack(claim, "w")
+            assert client.stats().done == 1
+            assert client.worker_done_counts() == {"w": 1}
+        finally:
+            server.close()
+
+    def test_unauthenticated_client_rejected_before_unpickling(self, monkeypatch):
+        """With a secret set, an unsigned frame must be rejected while still
+        opaque bytes: `pickle.loads` in the transport is never reached."""
+        server = QueueServer(secret=self.SECRET)
+        try:
+            server.enqueue("t-0", "payload")
+
+            def poisoned_loads(blob):
+                raise AssertionError("pickle.loads reached with an unauthenticated peer")
+
+            monkeypatch.setattr(netqueue.pickle, "loads", poisoned_loads)
+            intruder = NetWorkQueue(server.url, secret="", retries=0)
+            with pytest.raises(QueueAuthError, match="unauthenticated"):
+                intruder.claim("intruder")
+            monkeypatch.undo()
+            # The queue is untouched: the task is still claimable by a keyed worker.
+            client = NetWorkQueue(server.url, secret=self.SECRET, retries=0)
+            assert client.claim("w").task_id == "t-0"
+        finally:
+            server.close()
+
+    def test_large_unsigned_frame_still_rejected_loudly(self):
+        """The server drains a rejected frame's payload (bounded) before
+        closing, so the error frame survives the round trip even when the
+        unsigned request carries a hefty payload — the mis-keyed client gets
+        QueueAuthError, never a silent connection reset read as 'sweep over'."""
+        server = QueueServer(secret=self.SECRET)
+        try:
+            intruder = NetWorkQueue(server.url, secret="", retries=0)
+            bulky = {"op": "ack", "padding": b"x" * (256 * 1024)}
+            with pytest.raises(QueueAuthError, match="unauthenticated"):
+                intruder._request(bulky)
+        finally:
+            server.close()
+
+    def test_wrong_secret_rejected_loudly(self):
+        server = QueueServer(secret=self.SECRET)
+        try:
+            wrong = NetWorkQueue(server.url, secret="not-the-secret", retries=0)
+            with pytest.raises(QueueAuthError, match="signature mismatch"):
+                wrong.stats()
+        finally:
+            server.close()
+
+    def test_renew_surfaces_auth_rejection_instead_of_swallowing_it(self):
+        """A rotated/mis-keyed secret mid-task must not silently stop the
+        heartbeat (the lease would expire and the task re-run): renew raises
+        QueueAuthError like claim and ack do."""
+        server = QueueServer(secret=self.SECRET)
+        try:
+            keyed = NetWorkQueue(server.url, secret=self.SECRET, retries=0)
+            server.enqueue("t-0", "p")
+            claim = keyed.claim("w")
+            mis_keyed = NetWorkQueue(server.url, secret="rotated-away", retries=0)
+            with pytest.raises(QueueAuthError):
+                mis_keyed.renew(claim)
+        finally:
+            server.close()
+
+    def test_signed_client_against_open_server_fails_loudly(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_SECRET", raising=False)
+        server = QueueServer()
+        try:
+            signed = NetWorkQueue(server.url, secret=self.SECRET, retries=0)
+            with pytest.raises(QueueAuthError, match="no queue secret"):
+                signed.stats()
+        finally:
+            server.close()
+
+    def test_env_variable_keys_both_sides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_SECRET", "env-keyed")
+        server = QueueServer()  # picks the secret up from the environment
+        try:
+            client = NetWorkQueue(server.url)  # ditto
+            server.enqueue("t-0", "p")
+            assert client.claim("w").task_id == "t-0"
+        finally:
+            server.close()
+
+    def test_tampered_signed_frame_answered_with_error_frame(self):
+        """Flipping one payload byte of a correctly-keyed frame must produce a
+        plain-text error frame (never a pickled response)."""
+        server = QueueServer(secret=self.SECRET)
+        try:
+            frame = bytearray(_frame_bytes({"op": "stats"}, secret=resolve_queue_secret(self.SECRET)))
+            frame[-1] ^= 0xFF
+            with socket.create_connection((server.host, server.port), timeout=5) as sock:
+                sock.sendall(bytes(frame))
+                header = sock.recv(6)
+            assert header[:2] == MAGIC_ERROR
+        finally:
+            server.close()
+
+    def test_auth_error_frames_are_never_pickled(self):
+        """The rejection a secured server sends is raw utf-8, parseable
+        without trusting the peer."""
+        sock = _ByteSock(b"")
+        netqueue.send_error_frame(sock, "go away")
+        magic, length = struct.unpack(">2sI", sock.sent[:6])
+        assert magic == MAGIC_ERROR and sock.sent[6:] == b"go away"
+        with pytest.raises(QueueAuthError, match="go away"):
+            recv_frame(_ByteSock(sock.sent))
+
+
+class TestFrameCodecFuzz:
+    SECRET = b"fuzz-secret"
+
+    def test_truncated_frames_error_cleanly(self):
+        frame = _frame_bytes({"op": "poll", "padding": list(range(32))})
+        for cut in range(len(frame)):
+            with pytest.raises((ConnectionError, EOFError, ValueError)):
+                recv_frame(_ByteSock(frame[:cut]))
+
+    def test_truncated_signed_frames_error_cleanly(self):
+        frame = _frame_bytes({"op": "poll"}, secret=self.SECRET)
+        for cut in range(len(frame)):
+            with pytest.raises((ConnectionError, EOFError, ValueError)):
+                recv_frame(_ByteSock(frame[:cut]), secret=self.SECRET)
+
+    def test_mutations_never_reach_unpickling_on_a_secured_endpoint(self, monkeypatch):
+        """Byte-level fuzz of a validly-signed frame: any mutation must raise a
+        clean frame error before `pickle.loads` is reached."""
+        frame = _frame_bytes({"op": "claim", "worker_id": "w"}, secret=self.SECRET)
+
+        def poisoned_loads(blob):
+            raise AssertionError("pickle.loads reached on a mutated frame")
+
+        monkeypatch.setattr(netqueue.pickle, "loads", poisoned_loads)
+        rng = random.Random(0xC0FFEE)
+        for _ in range(300):
+            mutated = bytearray(frame)
+            for _ in range(rng.randint(1, 3)):
+                position = rng.randrange(len(mutated))
+                flip = rng.randrange(1, 256)
+                mutated[position] ^= flip
+            with pytest.raises((ConnectionError, QueueAuthError)):
+                recv_frame(_ByteSock(bytes(mutated)), secret=self.SECRET)
+
+    def test_unsigned_and_garbage_frames_rejected_on_secured_endpoint(self, monkeypatch):
+        def poisoned_loads(blob):
+            raise AssertionError("pickle.loads reached for an unsigned frame")
+
+        monkeypatch.setattr(netqueue.pickle, "loads", poisoned_loads)
+        unsigned = _frame_bytes({"op": "claim"})
+        with pytest.raises(FrameAuthError, match="unauthenticated"):
+            recv_frame(_ByteSock(unsigned), secret=self.SECRET)
+        rng = random.Random(42)
+        for length in (0, 1, 6, 64):
+            garbage = bytes(rng.randrange(256) for _ in range(length))
+            with pytest.raises((ConnectionError, QueueAuthError)):
+                recv_frame(_ByteSock(garbage), secret=self.SECRET)
+
+    def test_header_mutations_error_cleanly_on_open_endpoint(self):
+        """An *open* endpoint may reach the unpickler with garbage (that is
+        its documented trust model) but must always raise cleanly: a mutated
+        magic/length can shorten the payload into truncated pickle bytes."""
+        import pickle as pickle_module
+
+        frame = _frame_bytes({"op": "poll"})
+        clean_errors = (
+            ConnectionError, QueueAuthError, EOFError, pickle_module.UnpicklingError, ValueError,
+        )
+        for position in range(6):  # magic + length header
+            for flip in (0x01, 0x80, 0xFF):
+                mutated = bytearray(frame)
+                mutated[position] ^= flip
+                with pytest.raises(clean_errors):
+                    recv_frame(_ByteSock(bytes(mutated)))
+
+    def test_frame_deadline_defeats_a_trickling_peer(self, monkeypatch):
+        """A peer feeding one byte per recv cannot stretch a frame read past
+        the deadline: the budget covers the whole frame, not each recv."""
+        frame = _frame_bytes({"op": "poll", "padding": "x" * 64})
+
+        class TricklingSock(_ByteSock):
+            def __init__(self, data, clock):
+                super().__init__(data)
+                self.clock = clock
+
+            def settimeout(self, value):
+                pass
+
+            def recv(self, n_bytes):
+                self.clock["now"] += 1.0  # each byte costs a second
+                return super().recv(1)
+
+        clock = {"now": 0.0}
+        monkeypatch.setattr(netqueue.time, "monotonic", lambda: clock["now"])
+        with pytest.raises(ConnectionError, match="deadline"):
+            recv_frame(TricklingSock(frame, clock), deadline=10.0)
+        # The same trickle with enough budget succeeds.
+        clock["now"] = 0.0
+        assert recv_frame(TricklingSock(frame, clock), deadline=10_000.0)["op"] == "poll"
+
+    def test_oversized_length_rejected_without_allocation(self):
+        header = struct.pack(">2sI", b"RQ", netqueue.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ConnectionError, match="oversized"):
+            recv_frame(_ByteSock(header))
+        error_header = struct.pack(">2sI", b"RE", netqueue.MAX_ERROR_BYTES + 1)
+        with pytest.raises(ConnectionError, match="oversized"):
+            recv_frame(_ByteSock(error_header))
+
+
+# ---------------------------------------------------------------------------
+# Client retry/backoff (satellite: coordinator restart must not kill workers)
+# ---------------------------------------------------------------------------
+
+
+class TestClientRetries:
+    def test_transient_connection_refused_is_retried(self, monkeypatch):
+        server = QueueServer()
+        try:
+            server.enqueue("t-0", "payload")
+            real_connect = socket.create_connection
+            attempts = {"n": 0}
+
+            def flaky(address, timeout=None):
+                attempts["n"] += 1
+                if attempts["n"] <= 2:
+                    raise ConnectionRefusedError("coordinator restarting")
+                return real_connect(address, timeout=timeout)
+
+            monkeypatch.setattr(netqueue.socket, "create_connection", flaky)
+            client = NetWorkQueue(server.url, retries=3, backoff_s=0.01)
+            claim = client.claim("w")
+            assert claim is not None and claim.task_id == "t-0"
+            assert attempts["n"] == 3  # two refusals + the success
+        finally:
+            server.close()
+
+    def test_exhausted_retries_then_reads_as_stop(self, monkeypatch):
+        attempts = {"n": 0}
+
+        def always_refused(address, timeout=None):
+            attempts["n"] += 1
+            raise ConnectionRefusedError("gone for good")
+
+        monkeypatch.setattr(netqueue.socket, "create_connection", always_refused)
+        client = NetWorkQueue("tcp://127.0.0.1:1", retries=2, backoff_s=0.01)
+        assert client.claim("w") is None
+        assert attempts["n"] == 3  # initial + 2 retries, bounded
+        attempts["n"] = 0
+        assert client.stop_requested() is True
+        assert attempts["n"] == 3
+
+    def test_auth_rejection_is_not_retried(self, monkeypatch):
+        server = QueueServer(secret="the-secret")
+        try:
+            real_connect = socket.create_connection
+            attempts = {"n": 0}
+
+            def counting(address, timeout=None):
+                attempts["n"] += 1
+                return real_connect(address, timeout=timeout)
+
+            monkeypatch.setattr(netqueue.socket, "create_connection", counting)
+            intruder = NetWorkQueue(server.url, secret="", retries=5, backoff_s=0.01)
+            with pytest.raises(QueueAuthError):
+                intruder.claim("w")
+            assert attempts["n"] == 1  # retrying cannot fix a missing secret
+        finally:
+            server.close()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ExperimentError):
+            NetWorkQueue("tcp://127.0.0.1:1", retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# QueueStats / describe edge cases (satellite)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(params=TRANSPORTS)
+def plain_queue(request, tmp_path):
+    if request.param == "file":
+        yield WorkQueue(tmp_path / "q", lease_timeout_s=300)
+    else:
+        server = QueueServer(lease_timeout_s=300)
+        yield server
+        server.close()
+
+
+class TestQueueStatsEdgeCases:
+    def test_empty_queue(self, plain_queue):
+        stats = plain_queue.stats()
+        assert stats == QueueStats(pending=0, claimed=0, done=0, failed=0)
+        assert stats.describe() == "0 pending, 0 claimed, 0 done, 0 failed"
+        assert plain_queue.worker_done_counts() == {}
+
+    def test_failed_only_queue(self, plain_queue):
+        for index in range(2):
+            plain_queue.enqueue(f"t-{index}", "p")
+            plain_queue.fail(plain_queue.claim("w"), "w", "boom")
+        stats = plain_queue.stats()
+        assert (stats.pending, stats.claimed, stats.done, stats.failed) == (0, 0, 0, 2)
+        assert stats.describe() == "0 pending, 0 claimed, 0 done, 2 failed"
+        assert plain_queue.worker_done_counts() == {}  # failures are not completions
+
+    def test_shard_breakdown_counts_root_and_partitions(self, sharded_queue):
+        queue = sharded_queue
+        queue.enqueue("root-0", "p")
+        queue.enqueue("s0-a", "p", shard=0)
+        queue.enqueue("s0-b", "p", shard=0)
+        queue.enqueue("s3-a", "p", shard=3)
+        stats = queue.stats()
+        assert stats.pending == 4
+        assert stats.shard_pending == ((0, 2), (3, 1))  # empty shards omitted
+
+    def test_worker_done_counts_parses_each_marker_once(self, tmp_path, monkeypatch):
+        """Done markers are immutable: a progress poll must only read markers
+        it has not seen before (O(delta), not O(all) — the same discipline
+        stats() follows for the failed/ directory)."""
+        queue = WorkQueue(tmp_path / "q")
+        for index in range(3):
+            queue.enqueue(f"t-{index}", "p")
+            queue.ack(queue.claim(f"w-{index % 2}"), f"w-{index % 2}")
+        assert queue.worker_done_counts() == {"w-0": 2, "w-1": 1}
+
+        reads = {"n": 0}
+        real_read_text = Path.read_text
+
+        def counting_read_text(self, *args, **kwargs):
+            reads["n"] += 1
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", counting_read_text)
+        assert queue.worker_done_counts() == {"w-0": 2, "w-1": 1}
+        assert reads["n"] == 0  # everything served from the marker memo
+        queue.enqueue("t-3", "p")
+        queue.ack(queue.claim("w-1"), "w-1")
+        assert queue.worker_done_counts() == {"w-0": 2, "w-1": 2}
+        assert reads["n"] == 1  # only the new marker was parsed
+
+    def test_stats_are_sane_under_concurrent_claims(self, plain_queue):
+        """The progress reporter polls stats() while workers claim/ack: every
+        observation must be internally consistent (no negative or impossible
+        counts), and the final state must be exact."""
+        total = 30
+        for index in range(total):
+            plain_queue.enqueue(f"t-{index:02d}", index)
+
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def churn(name: str):
+            while not stop.is_set():
+                claim = plain_queue.claim(name)
+                if claim is None:
+                    return
+                plain_queue.ack(claim, name)
+
+        def observe():
+            while not stop.is_set():
+                stats = plain_queue.stats()
+                counts = (stats.pending, stats.claimed, stats.done, stats.failed)
+                if any(value < 0 for value in counts):
+                    errors.append(f"negative count in {counts}")
+                if stats.done > total:
+                    errors.append(f"done overshot: {counts}")
+                described = stats.describe()
+                if f"{stats.done} done" not in described:
+                    errors.append(f"describe out of sync: {described}")
+
+        workers = [threading.Thread(target=churn, args=(f"w-{i}",)) for i in range(3)]
+        observer = threading.Thread(target=observe, daemon=True)
+        observer.start()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=60)
+        stop.set()
+        observer.join(timeout=10)
+        assert not errors, errors[:3]
+        final = plain_queue.stats()
+        assert (final.pending, final.claimed, final.done) == (0, 0, total)
+        assert sum(plain_queue.worker_done_counts().values()) == total
+
+
+# ---------------------------------------------------------------------------
+# Lease-expiry boundary conditions (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseBoundary:
+    def test_file_claim_renewed_exactly_at_the_timeout_edge_survives(self, tmp_path, monkeypatch):
+        """age == lease_timeout is *not* expired (the boundary belongs to the
+        live worker); one tick past it is."""
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=60)
+        queue.enqueue("t-0", "p")
+        claim = queue.claim("edge-worker")
+        renewed_at = claim.path.stat().st_mtime
+
+        monkeypatch.setattr(WorkQueue, "filesystem_now", lambda self: renewed_at + 60.0)
+        assert queue.requeue_expired() == []
+        assert queue.has_live_claims()
+
+        monkeypatch.setattr(WorkQueue, "filesystem_now", lambda self: renewed_at + 60.001)
+        assert not queue.has_live_claims()
+        assert queue.requeue_expired() == ["t-0"]
+
+    def test_server_claim_renewed_exactly_at_the_deadline_survives(self, monkeypatch):
+        clock = {"now": 1000.0}
+        monkeypatch.setattr(netqueue.time, "monotonic", lambda: clock["now"])
+        server = QueueServer(lease_timeout_s=60)
+        try:
+            server.enqueue("t-0", "p")
+            assert server.claim("edge-worker") is not None  # deadline = 1060
+            clock["now"] = 1060.0
+            assert server.requeue_expired() == []
+            assert server.has_live_claims()
+            clock["now"] = 1060.000001
+            assert not server.has_live_claims()
+            assert server.requeue_expired() == ["t-0"]
+        finally:
+            monkeypatch.undo()
+            server.close()
+
+    def test_renew_at_the_edge_restarts_the_lease(self, tmp_path, monkeypatch):
+        queue = WorkQueue(tmp_path / "q", lease_timeout_s=60)
+        queue.enqueue("t-0", "p")
+        claim = queue.claim("w")
+        queue.renew(claim)  # the renewal that lands exactly at the edge
+        renewed_at = claim.path.stat().st_mtime
+        monkeypatch.setattr(WorkQueue, "filesystem_now", lambda self: renewed_at + 59.9)
+        assert queue.requeue_expired() == []
+        assert queue.has_live_claims()
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_ack_landing_before_the_expiry_sweep_wins(self, tmp_path, transport):
+        """requeue_expired racing an in-flight ack: when the ack lands first,
+        the sweep must not resurrect the task — it completes exactly once."""
+        if transport == "file":
+            queue = WorkQueue(tmp_path / "q", lease_timeout_s=0.05)
+        else:
+            queue = QueueServer(lease_timeout_s=0.05)
+        try:
+            queue.enqueue("t-0", "p")
+            claim = queue.claim("slow-worker")
+            time.sleep(0.1)  # the lease is past its deadline, sweep imminent
+            queue.ack(claim, "slow-worker")  # ...but the ack arrives first
+            assert queue.requeue_expired() == []
+            assert queue.done_ids() == {"t-0"}
+            assert queue.claim("other") is None  # nothing to execute a second time
+            stats = queue.stats()
+            assert (stats.pending, stats.claimed, stats.done) == (0, 0, 1)
+        finally:
+            if transport == "tcp":
+                queue.close()
+
+    def test_server_ack_after_requeue_completes_exactly_once(self):
+        """The opposite order on the server: the zombie ack wins, the
+        re-queued duplicate is dropped, and no second execution is visible."""
+        server = QueueServer(lease_timeout_s=0.05)
+        try:
+            server.enqueue("t-0", "p")
+            zombie = server.claim("zombie")
+            time.sleep(0.1)
+            assert server.requeue_expired() == ["t-0"]
+            server.ack(zombie, "zombie")
+            assert server.done_ids() == {"t-0"}
+            assert server.claim("other") is None
+            assert server.worker_done_counts() == {"zombie": 1}
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# Stress: 4-worker stolen sweeps stay byte-identical to serial (acceptance)
+# ---------------------------------------------------------------------------
+
+
+def _grid_parts(scale: float = 0.2):
+    spec = DatabaseSpec.create("imdb", scale=scale, seed=7, config=SIMULATION_CONFIG)
+    database = get_process_registry().get(spec)
+    workload = build_workload("job", database.schema)
+    splits = [
+        DatasetSplit(workload.name, SplitSampling.RANDOM, 0,
+                     train_ids=("1a", "2a", "3a"), test_ids=("1b", "2b")),
+        DatasetSplit(workload.name, SplitSampling.RANDOM, 1,
+                     train_ids=("6a", "8a", "4a"), test_ids=("3a", "1a")),
+        DatasetSplit(workload.name, SplitSampling.RANDOM, 2,
+                     train_ids=("10a", "17a", "6b"), test_ids=("2a", "20a")),
+    ]
+    return spec, workload, splits
+
+
+GRID_CONFIG = ExperimentConfig(
+    optimizer_kwargs={"bao": {"training_passes": 1}},
+    deterministic_timing=True,
+)
+
+
+class TestStolenSweepStress:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_four_worker_stealing_sweep_byte_identical_with_progress(
+        self, tmp_path, transport, monkeypatch
+    ):
+        """The PR's acceptance criterion: a 4-worker sweep with work stealing
+        enabled is byte-identical to serial on both transports while emitting
+        at least one valid progress snapshot (and, on tcp, running fully
+        HMAC-authenticated)."""
+        if transport == "tcp":
+            monkeypatch.setenv("REPRO_QUEUE_SECRET", "stress-secret")
+        spec, workload, splits = _grid_parts()
+        methods = ("postgres", "bao")
+        snapshots = []
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=distributed_runtime(
+                tmp_path / "store",
+                workers=4,
+                shard_count=4,
+                lease_timeout_s=30,
+                queue_url="tcp://127.0.0.1:0" if transport == "tcp" else None,
+                work_stealing=True,
+                progress_interval_s=0.25,
+            ),
+            progress_callback=snapshots.append,
+        )
+        distributed = [
+            json.dumps(r.to_dict(), sort_keys=True) for r in runner.run_grid(methods, splits)
+        ]
+
+        serial = ParallelExperimentRunner(
+            spec, workload, experiment_config=GRID_CONFIG, runtime_config=RuntimeConfig(workers=1)
+        )
+        expected = [
+            json.dumps(r.to_dict(), sort_keys=True) for r in serial.run_grid(methods, splits)
+        ]
+        assert distributed == expected  # stolen work changes placement, never bytes
+
+        assert snapshots, "the sweep emitted no progress snapshot"
+        final = snapshots[-1]
+        assert final.total == len(methods) * len(splits)
+        assert final.done == final.total and final.remaining == 0
+        json.loads(final.to_json())  # machine-readable end to end
+        assert sum(final.workers.values()) == final.total
+        assert runner._distributed_stolen >= 0
+        assert runner._distributed_progress is not None
+        assert runner._distributed_progress.latest is not None
+
+    def test_callback_without_interval_gets_only_the_final_snapshot(self, tmp_path):
+        """progress_interval_s=None disables *periodic* polling (as documented
+        on RuntimeConfig): a bare progress_callback still receives exactly the
+        end-of-sweep snapshot."""
+        spec, workload, splits = _grid_parts()
+        snapshots = []
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=distributed_runtime(
+                tmp_path / "store", workers=1, shard_count=2, lease_timeout_s=30
+            ),
+            progress_callback=snapshots.append,
+        )
+        runner.run_grid(("postgres",), splits[:1])
+        assert len(snapshots) == 1
+        assert snapshots[0].done == snapshots[0].total == 1
+
+        # A fully-resumed re-run (nothing enqueued) still emits its final
+        # completion snapshot — a dashboard must see the sweep finish.
+        runner.run_grid(("postgres",), splits[:1])
+        assert len(snapshots) == 2
+        assert snapshots[1].total == 0 and snapshots[1].remaining == 0
+
+    def test_stealing_disabled_still_completes(self, tmp_path):
+        """work_stealing=False: starving workers idle but the sweep still
+        finishes through shard owners (a safety valve, not a deadlock)."""
+        spec, workload, splits = _grid_parts()
+        runner = ParallelExperimentRunner(
+            spec,
+            workload,
+            experiment_config=GRID_CONFIG,
+            runtime_config=distributed_runtime(
+                tmp_path / "store",
+                workers=2,
+                shard_count=2,
+                lease_timeout_s=30,
+                work_stealing=False,
+            ),
+        )
+        results = runner.run_grid(("postgres",), splits[:1])
+        assert len(results) == 1
+        assert runner._distributed_stolen == 0
+
+
+class TestProtocolCompliance:
+    def test_transports_still_satisfy_the_queue_protocol(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", shard_count=4)
+        assert isinstance(queue, QueueTransport)
+        server = QueueServer()
+        try:
+            assert isinstance(server, QueueTransport)
+        finally:
+            server.close()
