@@ -11,7 +11,11 @@
 #                            HMAC-authenticated frames (REPRO_QUEUE_SECRET)
 #   make bench-progress    - fast-cadence progress-telemetry sweep over the
 #                            secured TCP transport (snapshot every 0.5 s)
+#   make bench-executor    - row vs columnar engine on the full JOB workload;
+#                            asserts byte-equivalence and writes the speedup
+#                            to BENCH_executor_columnar.json
 #   make bench             - every benchmark at reduced scale
+#   make docs-check        - markdown link check over README + docs/, as in CI
 #   make example           - the parallel+resume runtime demo
 #
 # Benchmarks honour REPRO_BENCH_SCALE / REPRO_BENCH_FULL / REPRO_BENCH_WORKERS /
@@ -38,7 +42,7 @@ BENCH_PROGRESS_STORE ?= $(shell mktemp -d /tmp/repro-progress.XXXXXX)
 # value only needs to match between coordinator and workers).
 REPRO_QUEUE_SECRET ?= local-bench-secret
 
-.PHONY: test lint bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench example
+.PHONY: test lint docs-check bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench-executor bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,6 +50,9 @@ test:
 lint:
 	ruff check .
 	-ruff format --check .
+
+docs-check:
+	$(PYTHON) tools/check_docs_links.py
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_figure3_splits.py -q
@@ -70,6 +77,9 @@ bench-progress:
 	REPRO_QUEUE_SECRET=$(REPRO_QUEUE_SECRET) \
 	REPRO_BENCH_STORE=$(BENCH_PROGRESS_STORE) \
 	$(PYTHON) examples/distributed_sweep.py
+
+bench-executor:
+	$(PYTHON) -m pytest benchmarks/bench_executor_columnar.py -q -s
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,149 @@
+"""Benchmark: columnar vs row execution engine on the JOB end-to-end workload.
+
+Both engines implement the same :class:`ExecutionProtocol` semantics and must
+produce byte-identical result rows, cardinalities and simulated timings for
+every plan (see docs/EXECUTOR.md); this benchmark asserts that equivalence on
+the full JOB workload and records the wall-clock speedup of the columnar
+engine.  The execution protocol per query mirrors the Figure 4 drivers: caches
+dropped once, then ``RUNS_PER_QUERY`` repetitions (one cold start plus
+hot-cache repeats).
+
+Engine timings are interleaved across repetitions (row, columnar, row, ...) so
+slow drift in machine load hits both engines equally; the reported speedup
+uses the best repetition of each engine.  The result is saved both into the
+session result store and as ``BENCH_executor_columnar.json`` at the repo root
+(override the location with ``REPRO_BENCH_ENGINE_JSON``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.executor.engine import create_engine
+from repro.experiments.common import job_context
+from repro.optimizer.planner import Planner
+
+#: Database scale of the engine comparison.  Deliberately *not* the generic
+#: ``REPRO_BENCH_SCALE`` smoke scale: at tiny scales both engines finish in
+#: fractions of a second and fixed per-operator Python overhead swamps the
+#: difference; scale 1.0 is where the figure-4 workload (and the >= 2x
+#: acceptance recorded in BENCH_executor_columnar.json) lives.
+ENGINE_BENCH_SCALE = float(os.environ.get("REPRO_BENCH_ENGINE_SCALE", "1.0"))
+
+#: Interleaved measurement repetitions per engine.
+REPS = int(os.environ.get("REPRO_BENCH_ENGINE_REPS", "3"))
+
+#: Executions per query: one cold start plus hot-cache repeats (Figure 4 protocol).
+RUNS_PER_QUERY = 3
+
+#: Where the JSON artefact is written (defaults to the repository root).
+DEFAULT_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_executor_columnar.json"
+
+
+def _run_workload(database, plans, kind: str):
+    """Execute every planned query ``RUNS_PER_QUERY`` times on a fresh engine.
+
+    Returns ``(elapsed_seconds, results)`` where ``results`` holds the final
+    (hot-cache) :class:`ExecutionResult` per query.  A fresh engine per call
+    resets the timing model's seeded noise stream, so identical call sequences
+    yield identical simulated timings across engines and repetitions.
+    """
+    engine = create_engine(database, database.config, kind=kind)
+    results = []
+    started = time.perf_counter()
+    for query, plan in plans:
+        database.drop_caches()
+        for _ in range(RUNS_PER_QUERY):
+            result = engine.execute(query.bound, plan)
+        results.append(result)
+    return time.perf_counter() - started, results
+
+
+def _assert_byte_identical(row_results, columnar_results, plans):
+    """Every query must agree on rows, counts, metrics and simulated time."""
+    for (query, _), row_res, col_res in zip(plans, row_results, columnar_results):
+        name = query.query_id
+        assert row_res.rows == col_res.rows, f"{name}: result rows differ"
+        assert row_res.row_count == col_res.row_count, f"{name}: row_count differs"
+        assert row_res.timed_out == col_res.timed_out, f"{name}: timeout flag differs"
+        assert row_res.metrics.__dict__ == col_res.metrics.__dict__, (
+            f"{name}: work profile differs"
+        )
+        assert row_res.execution_time_ms == col_res.execution_time_ms, (
+            f"{name}: simulated timing differs"
+        )
+
+
+def test_columnar_engine_speedup_on_job(benchmark, result_store):
+    context = job_context(ENGINE_BENCH_SCALE)
+    # Private buffer-pool view: the benchmark drops caches per query, which
+    # must not perturb the registry-shared instance other tests may hold.
+    database = context.database.with_config(context.database.config)
+    planner = Planner(database)
+    plans = [(query, planner.plan(query.bound)) for query in context.workload.queries]
+
+    row_times: list[float] = []
+    columnar_times: list[float] = []
+    row_results = columnar_results = None
+    for _ in range(REPS):
+        elapsed, row_results = _run_workload(database, plans, "row")
+        row_times.append(elapsed)
+        elapsed, columnar_results = _run_workload(database, plans, "columnar")
+        columnar_times.append(elapsed)
+    _assert_byte_identical(row_results, columnar_results, plans)
+
+    # Record the final columnar pass through pytest-benchmark's bookkeeping
+    # too, so the suite-wide benchmark table includes this entry.
+    benchmark.pedantic(
+        _run_workload,
+        args=(database, plans, "columnar"),
+        iterations=1,
+        rounds=1,
+    )
+
+    speedup_best = min(row_times) / max(min(columnar_times), 1e-9)
+    speedup_median = statistics.median(row_times) / max(
+        statistics.median(columnar_times), 1e-9
+    )
+    payload = {
+        "benchmark": "figure4 JOB end-to-end execution: row vs columnar engine",
+        "scale": ENGINE_BENCH_SCALE,
+        "queries": len(plans),
+        "runs_per_query": RUNS_PER_QUERY,
+        "reps": REPS,
+        "row_s": {
+            "best": min(row_times),
+            "median": statistics.median(row_times),
+            "all": row_times,
+        },
+        "columnar_s": {
+            "best": min(columnar_times),
+            "median": statistics.median(columnar_times),
+            "all": columnar_times,
+        },
+        "speedup_best": speedup_best,
+        "speedup_median": speedup_median,
+        "simulated_total_ms": sum(r.execution_time_ms for r in columnar_results),
+        "byte_identical": True,
+    }
+    result_store.save_artifact("BENCH_executor_columnar", payload)
+    json_path = Path(os.environ.get("REPRO_BENCH_ENGINE_JSON") or DEFAULT_JSON_PATH)
+    json_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+    print()
+    print(
+        f"JOB x{len(plans)} queries, {RUNS_PER_QUERY} runs each: "
+        f"row best {min(row_times):.2f}s vs columnar best {min(columnar_times):.2f}s "
+        f"-> {speedup_best:.2f}x (median {speedup_median:.2f}x)"
+    )
+    # Gate: at the default scale 1.0 the measured speedup is ~2.2x (the
+    # committed BENCH_executor_columnar.json); the floor absorbs noisy shared
+    # CI runners.
+    # When REPRO_BENCH_ENGINE_SCALE is dialed down for a quick local smoke the
+    # gap shrinks toward per-operator overhead parity, so only require
+    # "not slower".
+    assert speedup_best >= (1.5 if ENGINE_BENCH_SCALE >= 1.0 else 0.9)

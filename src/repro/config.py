@@ -268,6 +268,14 @@ def iter_presets() -> Iterator[tuple[str, PostgresConfig]]:
 #: Executor kinds accepted by :class:`RuntimeConfig`.
 EXECUTOR_KINDS = ("serial", "thread", "process", "distributed")
 
+#: Execution-engine kinds accepted by ``ExperimentConfig.engine`` and
+#: :func:`repro.executor.engine.create_engine`.  ``"columnar"`` (the default)
+#: evaluates plans over late-materialized column batches; ``"row"`` is the
+#: original per-alias row-id engine, kept as the correctness oracle the
+#: equivalence test suite checks the columnar engine against.  Both engines
+#: produce byte-identical results, cardinalities and simulated timings.
+ENGINE_KINDS = ("columnar", "row")
+
 
 @dataclass(frozen=True)
 class RuntimeConfig:

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.config import PostgresConfig
 from repro.core.stats import MannWhitneyResult, mann_whitney_u_test
-from repro.executor.engine import ExecutionEngine
+from repro.executor.engine import create_engine
 from repro.optimizer.enumeration import enumerate_join_trees
 from repro.optimizer.planner import Planner
 from repro.plans.properties import PlanShape, classify_plan_shape
@@ -83,7 +83,7 @@ def _measure_config(
     """Hot-cache execution-time samples of every query under one configuration."""
     db = database.with_config(config)
     planner = Planner(db, config)
-    engine = ExecutionEngine(db, config)
+    engine = create_engine(db, config)
     samples: dict[str, list[float]] = {}
     for query in queries:
         planned = planner.plan_with_info(query.bound)
@@ -232,7 +232,7 @@ def plan_shape_analysis(
     is executed to bound the study's runtime.
     """
     planner = Planner(database)
-    engine = ExecutionEngine(database)
+    engine = create_engine(database)
     rng = np.random.default_rng(seed)
     result = PlanShapeStudyResult(fast_tail_quantile=fast_tail_quantile)
 

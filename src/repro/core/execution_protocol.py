@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ExperimentError
-from repro.executor.engine import ExecutionEngine
+from repro.executor.engine import ExecutionEngine, create_engine
 from repro.optimizer.planner import Planner
 from repro.plans.hints import NO_HINTS, HintSet
 from repro.plans.physical import PlanNode
@@ -71,7 +71,7 @@ class ExecutionProtocol:
         self,
         database: "Database | DatabaseSpec",
         planner: Planner | None = None,
-        engine: ExecutionEngine | None = None,
+        engine: ExecutionEngine | str | None = None,
         executions_per_query: int = DEFAULT_EXECUTIONS,
         cold_start: bool = True,
     ) -> None:
@@ -80,7 +80,15 @@ class ExecutionProtocol:
         database = resolve_database(database)
         self.database = database
         self.planner = planner or Planner(database)
-        self.engine = engine or ExecutionEngine(database, self.planner.config)
+        # ``engine`` accepts a ready-made engine instance or a kind string
+        # from ENGINE_KINDS ("columnar"/"row"); the default is the columnar
+        # engine, which is byte-equivalent to the row oracle but faster.
+        if engine is None or isinstance(engine, str):
+            self.engine = create_engine(
+                database, self.planner.config, kind=engine or "columnar"
+            )
+        else:
+            self.engine = engine
         self.executions_per_query = executions_per_query
         self.cold_start = cold_start
 

@@ -14,6 +14,7 @@ every (method, split) combination it
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields, replace
 from typing import Iterable, Sequence, Union
 
@@ -52,6 +53,13 @@ class ExperimentConfig:
     #: on scheduling and GIL contention, simulated times do not, so results
     #: stay byte-identical between serial and parallel execution.
     deterministic_timing: bool = False
+    #: Execution-engine kind ("columnar" or "row", see
+    #: :data:`repro.config.ENGINE_KINDS`).  The engines are byte-equivalent —
+    #: identical results, cardinalities and simulated timings — so this knob
+    #: only trades wall-clock speed ("columnar") against the simpler oracle
+    #: implementation ("row").  Overridable via the REPRO_ENGINE environment
+    #: variable for whole-process experiments.
+    engine: str = field(default_factory=lambda: os.environ.get("REPRO_ENGINE", "columnar"))
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         return replace(self, seed=seed)
@@ -118,6 +126,7 @@ class ExperimentRunner:
             seed=self.config.seed,
             deterministic_timing=self.config.deterministic_timing,
             plan_cache=self.plan_cache,
+            engine=self.config.engine,
         )
 
     def context_fingerprint(self) -> str:

@@ -6,11 +6,18 @@ performed: pages hit in the buffer pool, pages read "from disk" sequentially
 or randomly, tuples processed, spill bytes.  The timing model converts that
 work profile into a deterministic simulated latency whose cold-vs-hot cache
 behaviour reproduces the measurement-protocol findings of Sections 7.3/8.6.
+
+Two interchangeable engines implement the operators (see ``docs/EXECUTOR.md``):
+the straightforward row engine (:class:`ExecutionEngine`, the correctness
+oracle) and the late-materializing columnar engine
+(:class:`ColumnarExecutionEngine`, the default).  :func:`create_engine` picks
+one by kind; both produce byte-identical results and simulated timings.
 """
 
 from repro.executor.operators import OperatorMetrics, Relation
 from repro.executor.timing import TimingModel, TimingBreakdown
-from repro.executor.engine import ExecutionEngine, ExecutionResult
+from repro.executor.engine import ExecutionEngine, ExecutionResult, create_engine
+from repro.executor.columnar import ColumnarBatch, ColumnarExecutionEngine
 from repro.executor.explain import explain_plan, explain_analyze
 
 __all__ = [
@@ -20,6 +27,9 @@ __all__ = [
     "TimingBreakdown",
     "ExecutionEngine",
     "ExecutionResult",
+    "ColumnarBatch",
+    "ColumnarExecutionEngine",
+    "create_engine",
     "explain_plan",
     "explain_analyze",
 ]

@@ -1,0 +1,450 @@
+"""The columnar execution engine: batch operators with late materialization.
+
+This module is the performance half of the executor.  It evaluates exactly the
+same physical plans as the row engine in :mod:`repro.executor.engine` and is
+required to produce **byte-identical** results, cardinalities, operator
+metrics and (therefore) simulated timings — the equivalence is enforced by the
+property suite in ``tests/test_columnar.py``.  What changes is only how much
+real work the host machine performs:
+
+* **Late materialization.**  A :class:`ColumnarBatch` does not store one row-id
+  array per base-table alias the way :class:`~repro.executor.operators.Relation`
+  does.  Instead each alias keeps a :class:`_Lineage`: the row ids produced by
+  its scan plus a chain of positional indirection arrays appended by every
+  join/filter above it.  Joins and selections only *record* positions; actual
+  row ids are composed lazily (and cached) the first time a column of that
+  alias is needed.  The row engine's ``_combine`` — gathering every alias's
+  array at every join — disappears entirely.
+* **Progressive filtering.**  Successive scan filters are evaluated on the
+  shrinking set of surviving rows rather than on the full column, using the
+  subset property of :func:`repro.optimizer.cardinality._evaluate_filter_mask`
+  (``mask(column[rows]) == mask(column)[rows]``).
+* **Vectorized expansion.**  Ragged per-key ranges in join matching and index
+  probes expand through :func:`repro.storage.index.ragged_ranges` instead of a
+  Python loop.
+
+None of this may change observable behaviour.  The operators below charge the
+buffer pool with the *same calls in the same order* and compute metrics with
+the *same arithmetic* as their row counterparts, because metrics describe the
+simulated plan work — which is fixed by plan semantics — not the physical
+shortcuts taken here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.statistics import NULL_SENTINEL
+from repro.errors import ExecutionError
+from repro.executor.engine import ExecutionEngine
+from repro.executor.operators import (
+    OperatorMetrics,
+    _index_lookup,
+    _orient_predicate,
+    charge_join_type,
+    cross_product_positions,
+    evaluate_filter_mask,
+    index_nestloop_inner,
+    join_match_positions,
+)
+from repro.plans.physical import JoinNode, ScanNode, ScanType
+from repro.sql.binder import BoundQuery
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.database import Database
+
+
+class _Lineage:
+    """Row provenance of one alias: scan output plus positional indirections.
+
+    ``base`` is the row-id array the alias's scan produced.  ``chain`` is a
+    tuple of position arrays: ``chain[0]`` indexes into ``base``, ``chain[1]``
+    indexes into ``chain[0]``, and so on.  The materialized row ids are
+    ``base[chain[0][chain[1][...]]]`` — composed right to left so every
+    intermediate array already has the (small) final size.
+    """
+
+    __slots__ = ("base", "chain")
+
+    def __init__(self, base: np.ndarray, chain: tuple[np.ndarray, ...] = ()) -> None:
+        self.base = base
+        self.chain = chain
+
+    def extend(self, positions: np.ndarray) -> "_Lineage":
+        """Lineage after selecting ``positions`` from the current tuples."""
+        return _Lineage(self.base, self.chain + (positions,))
+
+    def materialize(self) -> np.ndarray:
+        """Compose the indirection chain into concrete base-table row ids."""
+        if not self.chain:
+            return self.base
+        acc = self.chain[-1]
+        for positions in reversed(self.chain[:-1]):
+            acc = positions[acc]
+        return self.base[acc]
+
+
+class ColumnarBatch:
+    """Intermediate result of the columnar engine.
+
+    Presents the same surface the engine's shared finalization layers use on
+    :class:`~repro.executor.operators.Relation` — ``size``, ``aliases``,
+    ``select``, ``fetch`` and a ``rows`` mapping — but stores per-alias
+    :class:`_Lineage` objects and materializes row ids lazily, caching each
+    alias's composed array on first use.
+    """
+
+    __slots__ = ("_lineages", "_size", "_materialized")
+
+    def __init__(self, lineages: dict[str, _Lineage], size: int) -> None:
+        self._lineages = lineages
+        self._size = size
+        self._materialized: dict[str, np.ndarray] = {}
+
+    # -- Relation-compatible surface ----------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of (composite) tuples in the batch."""
+        return self._size
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        """Base-table aliases whose rows this batch carries."""
+        return frozenset(self._lineages)
+
+    @property
+    def rows(self) -> dict[str, np.ndarray]:
+        """Materialized per-alias row ids (Relation-shaped, for tests/tools)."""
+        return {alias: self.row_ids(alias) for alias in self._lineages}
+
+    def row_ids(self, alias: str) -> np.ndarray:
+        """Concrete base-table row ids of ``alias``, composed and cached."""
+        cached = self._materialized.get(alias)
+        if cached is not None:
+            return cached
+        lineage = self._lineages.get(alias)
+        if lineage is None:
+            raise ExecutionError(f"relation does not contain alias {alias!r}")
+        materialized = lineage.materialize()
+        self._materialized[alias] = materialized
+        return materialized
+
+    def _extended(self, alias: str, positions: np.ndarray) -> _Lineage:
+        """Lineage of ``alias`` after selecting ``positions``.
+
+        When this batch already materialized the alias (someone fetched one of
+        its columns), the child lineage restarts from that concrete array with
+        a one-element chain — so chains stay short along the axes the plan
+        actually touches instead of growing with join depth.
+        """
+        materialized = self._materialized.get(alias)
+        if materialized is not None:
+            return _Lineage(materialized, (positions,))
+        return self._lineages[alias].extend(positions)
+
+    def select(self, positions: np.ndarray) -> "ColumnarBatch":
+        """Keep only the tuples at ``positions`` — O(aliases), no gathers."""
+        positions = np.asarray(positions, dtype=np.int64)
+        lineages = {
+            alias: self._extended(alias, positions) for alias in self._lineages
+        }
+        return ColumnarBatch(lineages, int(positions.size))
+
+    def fetch(
+        self, database: Database, query: BoundQuery, alias: str, column: str
+    ) -> np.ndarray:
+        """Column values of ``alias.column`` for every tuple of this batch."""
+        data = database.table_data(query.table_of(alias))
+        return data.gather(column, self.row_ids(alias))
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def from_scan(alias: str, row_ids: np.ndarray) -> "ColumnarBatch":
+        """Single-alias batch over the row ids a scan produced."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        return ColumnarBatch({alias: _Lineage(row_ids)}, int(row_ids.size))
+
+    @staticmethod
+    def join(
+        left: "ColumnarBatch",
+        right: "ColumnarBatch",
+        left_pos: np.ndarray,
+        right_pos: np.ndarray,
+    ) -> "ColumnarBatch":
+        """Batch pairing ``left[left_pos[i]]`` with ``right[right_pos[i]]``.
+
+        Only records the position arrays in each side's lineage — the lazy
+        replacement for the row engine's per-alias ``_combine`` gathers.
+        """
+        lineages: dict[str, _Lineage] = {}
+        for alias in left._lineages:
+            lineages[alias] = left._extended(alias, left_pos)
+        for alias in right._lineages:
+            lineages[alias] = right._extended(alias, right_pos)
+        return ColumnarBatch(lineages, int(left_pos.size))
+
+    @staticmethod
+    def join_with_base(
+        left: "ColumnarBatch",
+        alias: str,
+        row_ids: np.ndarray,
+        left_pos: np.ndarray,
+    ) -> "ColumnarBatch":
+        """Batch pairing ``left[left_pos[i]]`` with base row ``row_ids[i]``.
+
+        Used by the index nested loop, whose inner side arrives as freshly
+        probed base-table row ids rather than an existing batch.
+        """
+        lineages = {
+            existing: left._extended(existing, left_pos) for existing in left._lineages
+        }
+        lineages[alias] = _Lineage(np.asarray(row_ids, dtype=np.int64))
+        return ColumnarBatch(lineages, int(left_pos.size))
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+def columnar_scan(
+    database: Database,
+    query: BoundQuery,
+    node: ScanNode,
+    buffer_pool: BufferPool,
+) -> tuple[ColumnarBatch, OperatorMetrics]:
+    """Scan with progressive filtering; accounting identical to ``execute_scan``.
+
+    The row engine evaluates every filter over the full column and conjoins
+    the masks; here only the first (or the index-driving) filter sees full
+    data and each later filter is evaluated on the gathered codes of the rows
+    still alive.  CPU charges stay those of the full-column evaluation — the
+    simulated scan always reads every tuple.
+    """
+    metrics = OperatorMetrics()
+    data = database.table_data(node.table)
+    row_count = data.row_count
+    metrics.tuples_in = row_count
+
+    if row_count == 0:
+        return ColumnarBatch.from_scan(node.alias, np.empty(0, dtype=np.int64)), metrics
+
+    driving_filter = None
+    if node.index_column is not None:
+        for predicate in node.filters:
+            if predicate.column == node.index_column and predicate.op in (
+                "=", "<", "<=", ">", ">=", "between", "in",
+            ):
+                driving_filter = predicate
+                break
+
+    if node.scan_type is ScanType.SEQ or driving_filter is None:
+        access = buffer_pool.access_pages(node.table, data.page_count, sequential=True)
+        metrics.pages_hit += access.hits
+        metrics.seq_pages_read += access.misses
+        row_ids: np.ndarray | None = None
+        for predicate in node.filters:
+            if row_ids is None:
+                row_ids = np.nonzero(evaluate_filter_mask(data, predicate))[0]
+            elif row_ids.size:
+                subset = data.gather(predicate.column, row_ids)
+                row_ids = row_ids[evaluate_filter_mask(data, predicate, subset)]
+            metrics.cpu_ops += row_count
+        if row_ids is None:
+            row_ids = np.arange(row_count, dtype=np.int64)
+    else:
+        index = database.index(node.table, node.index_column)
+        if index is None:
+            raise ExecutionError(
+                f"plan requires an index on {node.table}.{node.index_column} that does not exist"
+            )
+        lookup = _index_lookup(index, data, driving_filter)
+        metrics.index_pages += lookup.index_pages
+        matched = lookup.row_ids
+        heap_pages = min(matched.size, data.page_count)
+        sequential = node.scan_type is ScanType.BITMAP
+        if node.scan_type is ScanType.TID:
+            heap_pages = min(1, data.page_count)
+        access = buffer_pool.access_fraction(
+            node.table, data.page_count, heap_pages / max(data.page_count, 1), sequential=sequential
+        )
+        metrics.pages_hit += access.hits
+        if sequential:
+            metrics.seq_pages_read += access.misses
+        else:
+            metrics.random_pages_read += access.misses
+        # The row engine charges every non-driving filter against the full
+        # matched set; keep that charge while filtering progressively.
+        charge = int(matched.size)
+        row_ids = matched
+        for predicate in node.filters:
+            if predicate is driving_filter:
+                continue
+            if row_ids.size:
+                subset = data.gather(predicate.column, row_ids)
+                row_ids = row_ids[evaluate_filter_mask(data, predicate, subset)]
+            metrics.cpu_ops += charge
+
+    metrics.tuples_out = int(row_ids.size)
+    metrics.cpu_ops += int(row_ids.size)
+    return ColumnarBatch.from_scan(node.alias, row_ids), metrics
+
+
+def columnar_join(
+    database: Database,
+    query: BoundQuery,
+    node: JoinNode,
+    left: ColumnarBatch,
+    right: ColumnarBatch,
+    buffer_pool: BufferPool,
+    work_mem_bytes: int,
+) -> tuple[ColumnarBatch, OperatorMetrics]:
+    """Join two batches; accounting identical to ``execute_join``.
+
+    Only the primary predicate's two key columns are materialized; the match
+    itself and the pairing of all carried aliases are positional.
+    """
+    metrics = OperatorMetrics()
+    metrics.tuples_in = left.size + right.size
+
+    if not node.predicates:
+        left_pos, right_pos = cross_product_positions(left.size, right.size)
+        result = ColumnarBatch.join(left, right, left_pos, right_pos)
+        metrics.cpu_ops += max(left.size * right.size, 1)
+        metrics.tuples_out = result.size
+        return result, metrics
+
+    primary = node.predicates[0]
+    left_alias, left_column, right_alias, right_column = _orient_predicate(primary, left, right)
+
+    left_values = left.fetch(database, query, left_alias, left_column)
+    right_values = right.fetch(database, query, right_alias, right_column)
+
+    left_pos, right_pos = join_match_positions(left_values, right_values)
+    # SQL semantics: NULL never equals NULL (see execute_join).
+    if left_pos.size:
+        not_null = left_values[left_pos] != NULL_SENTINEL
+        left_pos = left_pos[not_null]
+        right_pos = right_pos[not_null]
+
+    charge_join_type(database, node, left.size, right.size, work_mem_bytes, metrics)
+
+    result = ColumnarBatch.join(left, right, left_pos, right_pos)
+
+    for predicate in node.predicates[1:]:
+        la, lc, ra, rc = _orient_predicate(predicate, left, right)
+        lvals = result.fetch(database, query, la, lc)
+        rvals = result.fetch(database, query, ra, rc)
+        keep = (lvals == rvals) & (lvals != NULL_SENTINEL)
+        metrics.cpu_ops += result.size
+        result = result.select(np.nonzero(keep)[0])
+
+    metrics.tuples_out = result.size
+    metrics.cpu_ops += result.size
+    return result, metrics
+
+
+def columnar_index_nestloop(
+    database: Database,
+    query: BoundQuery,
+    node: JoinNode,
+    left: ColumnarBatch,
+    buffer_pool: BufferPool,
+) -> tuple[ColumnarBatch, OperatorMetrics]:
+    """Index nested loop; accounting identical to ``execute_index_nestloop``."""
+    resolved = index_nestloop_inner(database, node)
+    if resolved is None:
+        raise ExecutionError("join cannot be executed as an index nested loop")
+    inner_scan, index, column, probe = resolved
+    metrics = OperatorMetrics()
+    metrics.tuples_in = left.size
+
+    outer_alias, outer_column = probe.other(inner_scan.alias)
+    outer_keys = left.fetch(database, query, outer_alias, outer_column)
+
+    probe_positions, matched_rows, index_pages = index.probe_many(outer_keys)
+    metrics.index_pages += index_pages
+    metrics.cpu_ops += left.size
+    if probe_positions.size:
+        not_null = outer_keys[probe_positions] != NULL_SENTINEL
+        probe_positions = probe_positions[not_null]
+        matched_rows = matched_rows[not_null]
+
+    data = database.table_data(inner_scan.table)
+    heap_pages = min(int(matched_rows.size), data.page_count)
+    access = buffer_pool.access_fraction(
+        inner_scan.table, data.page_count, heap_pages / max(data.page_count, 1), sequential=False
+    )
+    metrics.pages_hit += access.hits
+    metrics.random_pages_read += access.misses
+
+    # Inner-scan filters: progressive subset evaluation, row-engine charges.
+    charge = int(matched_rows.size)
+    for predicate in inner_scan.filters:
+        if matched_rows.size:
+            subset = data.gather(predicate.column, matched_rows)
+            keep = evaluate_filter_mask(data, predicate, subset)
+            matched_rows = matched_rows[keep]
+            probe_positions = probe_positions[keep]
+        metrics.cpu_ops += charge
+
+    result = ColumnarBatch.join_with_base(left, inner_scan.alias, matched_rows, probe_positions)
+
+    # Every join predicate except the probe becomes a post-join filter (see
+    # execute_index_nestloop for why none may be skipped).
+    for predicate in node.predicates:
+        if predicate is probe:
+            continue
+        if (
+            predicate.left_alias not in result.aliases
+            or predicate.right_alias not in result.aliases
+        ):
+            raise ExecutionError(
+                f"join predicate {predicate} does not connect the joined relations"
+            )
+        lvals = result.fetch(database, query, predicate.left_alias, predicate.left_column)
+        rvals = result.fetch(database, query, predicate.right_alias, predicate.right_column)
+        keep_mask = (lvals == rvals) & (lvals != NULL_SENTINEL)
+        metrics.cpu_ops += result.size
+        result = result.select(np.nonzero(keep_mask)[0])
+
+    metrics.tuples_out = result.size
+    metrics.cpu_ops += result.size
+    return result, metrics
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class ColumnarExecutionEngine(ExecutionEngine):
+    """Drop-in engine running the columnar operators above.
+
+    Everything outside the three operator hooks — timing, timeouts, sort,
+    aggregation, projection, EXPLAIN row counts — is inherited unchanged from
+    :class:`~repro.executor.engine.ExecutionEngine`, which is exactly what
+    guarantees the two engines can only diverge inside the operators (where
+    the equivalence suite pins them together).
+    """
+
+    kind = "columnar"
+
+    def _scan_node(self, query: BoundQuery, node: ScanNode):
+        """Evaluate one base-table scan columnar-style."""
+        return columnar_scan(self.database, query, node, self.database.buffer_pool)
+
+    def _join_node(self, query: BoundQuery, node: JoinNode, left, right):
+        """Join two batches positionally."""
+        return columnar_join(
+            self.database,
+            query,
+            node,
+            left,
+            right,
+            self.database.buffer_pool,
+            self.config.work_mem,
+        )
+
+    def _index_nestloop_node(self, query: BoundQuery, node: JoinNode, left):
+        """Probe the inner index per outer tuple, pairing lazily."""
+        return columnar_index_nestloop(
+            self.database, query, node, left, self.database.buffer_pool
+        )

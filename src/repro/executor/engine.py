@@ -51,11 +51,26 @@ class ExecutionResult:
 
     @property
     def succeeded(self) -> bool:
+        """Whether the execution completed without error or timeout."""
         return self.error is None and not self.timed_out
 
 
 class ExecutionEngine:
-    """Evaluates physical plans against a :class:`Database`."""
+    """Evaluates physical plans against a :class:`Database`.
+
+    This is the *row* engine: intermediate results materialize one row-id
+    array per base-table alias at every operator.  It is deliberately kept
+    simple — it doubles as the correctness oracle the equivalence test suite
+    holds the optimized :class:`~repro.executor.columnar.ColumnarExecutionEngine`
+    against.  Subclasses swap execution strategies by overriding the
+    ``_scan_node`` / ``_join_node`` / ``_index_nestloop_node`` operator hooks;
+    everything above them (timing, timeout handling, sort/aggregate/projection
+    finalization, EXPLAIN row accounting) is shared and must stay
+    byte-identical across engines.
+    """
+
+    #: Engine-kind name reported by :func:`create_engine` round-trips.
+    kind = "row"
 
     def __init__(
         self,
@@ -116,6 +131,33 @@ class ExecutionEngine:
             timed_out=timed_out,
         )
 
+    # -------------------------------------------------------------- operator hooks
+    # Engines override these three methods to swap execution strategies.  Each
+    # returns ``(relation, metrics)`` exactly like the operator functions in
+    # :mod:`repro.executor.operators`; the shared recursion below does the
+    # metric merging and per-node row accounting.
+    def _scan_node(self, query: BoundQuery, node: ScanNode):
+        """Evaluate one base-table scan."""
+        return execute_scan(self.database, query, node, self.database.buffer_pool)
+
+    def _join_node(self, query: BoundQuery, node: JoinNode, left: Relation, right: Relation):
+        """Join two materialized inputs."""
+        return execute_join(
+            self.database,
+            query,
+            node,
+            left,
+            right,
+            self.database.buffer_pool,
+            self.config.work_mem,
+        )
+
+    def _index_nestloop_node(self, query: BoundQuery, node: JoinNode, left: Relation):
+        """Probe the inner side of ``node`` per outer tuple via its index."""
+        return execute_index_nestloop(
+            self.database, query, node, left, self.database.buffer_pool
+        )
+
     # ------------------------------------------------------------------ recursion
     def _evaluate(
         self,
@@ -125,9 +167,7 @@ class ExecutionEngine:
         node_rows: dict[int, int],
     ) -> Relation:
         if isinstance(node, ScanNode):
-            relation, metrics = execute_scan(
-                self.database, query, node, self.database.buffer_pool
-            )
+            relation, metrics = self._scan_node(query, node)
             total_metrics.merge(metrics)
             node_rows[id(node)] = relation.size
             return relation
@@ -137,23 +177,13 @@ class ExecutionEngine:
             if index_nestloop_inner(self.database, node) is not None:
                 # Parameterized inner index scan: the inner relation is probed
                 # per outer tuple instead of being materialized.
-                relation, metrics = execute_index_nestloop(
-                    self.database, query, node, left, self.database.buffer_pool
-                )
+                relation, metrics = self._index_nestloop_node(query, node, left)
                 total_metrics.merge(metrics)
                 node_rows[id(node.right)] = relation.size
                 node_rows[id(node)] = relation.size
                 return relation
             right = self._evaluate(query, node.right, total_metrics, node_rows)
-            relation, metrics = execute_join(
-                self.database,
-                query,
-                node,
-                left,
-                right,
-                self.database.buffer_pool,
-                self.config.work_mem,
-            )
+            relation, metrics = self._join_node(query, node, left, right)
             total_metrics.merge(metrics)
             node_rows[id(node)] = relation.size
             return relation
@@ -173,11 +203,12 @@ class ExecutionEngine:
         raise ExecutionError(f"cannot execute node type {type(node).__name__}")
 
     def _sort_relation(self, query: BoundQuery, relation: Relation, node: SortNode) -> Relation:
+        """Order ``relation`` by the node's sort keys (stable lexsort)."""
         if relation.size == 0 or not node.sort_keys:
             return relation
         keys = []
         for alias, column in reversed(node.sort_keys):
-            if alias in relation.rows:
+            if alias in relation.aliases:
                 keys.append(fetch_column(self.database, query, relation, alias, column))
         if not keys:
             return relation
@@ -204,12 +235,13 @@ class ExecutionEngine:
         return [tuple(row)]
 
     def _scalar_aggregate(self, query: BoundQuery, relation: Relation, item) -> object:
+        """Evaluate one aggregate select-item over the whole relation."""
         if item.function == "count" and item.column is None:
             return relation.size
         if item.column is None:
             return relation.size
         alias = item.column.alias or query.aliases[0]
-        if alias not in relation.rows or relation.size == 0:
+        if alias not in relation.aliases or relation.size == 0:
             return None
         values = fetch_column(self.database, query, relation, alias, item.column.column)
         values = values[values != NULL_SENTINEL]
@@ -229,6 +261,7 @@ class ExecutionEngine:
         raise ExecutionError(f"unsupported aggregate {item.function!r}")
 
     def _grouped_aggregates(self, query: BoundQuery, relation: Relation, statement) -> list[tuple]:
+        """Evaluate GROUP BY output: one row per distinct group-key combination."""
         if relation.size == 0:
             return []
         group_columns = []
@@ -257,6 +290,7 @@ class ExecutionEngine:
         return rows
 
     def _project_rows(self, query: BoundQuery, relation: Relation, statement) -> list[tuple]:
+        """Decode the SELECT list for a plain (non-aggregate) projection."""
         limit = statement.limit if statement.limit is not None else min(relation.size, 1000)
         size = min(relation.size, limit)
         if size == 0:
@@ -269,5 +303,36 @@ class ExecutionEngine:
             alias = item.column.alias or query.aliases[0]
             data = self.database.table_data(query.table_of(alias))
             values = fetch_column(self.database, query, relation, alias, item.column.column)[:size]
-            columns.append([data.decode(item.column.column, int(v)) for v in values])
+            columns.append(data.decode_many(item.column.column, values))
         return [tuple(col[i] for col in columns) for i in range(size)]
+
+
+def create_engine(
+    database: Database,
+    config: PostgresConfig | None = None,
+    kind: str = "columnar",
+    timing_model: TimingModel | None = None,
+) -> ExecutionEngine:
+    """Build an execution engine of the requested ``kind``.
+
+    ``kind`` must be one of :data:`repro.config.ENGINE_KINDS`:
+
+    * ``"columnar"`` (default) — the batch engine with late materialization;
+      see :mod:`repro.executor.columnar`.
+    * ``"row"`` — the straightforward per-operator row-id engine, kept as the
+      correctness oracle.
+
+    Both engines produce byte-identical results, cardinalities and simulated
+    timings for every plan; they differ only in wall-clock speed.
+    """
+    from repro.config import ENGINE_KINDS
+
+    if kind not in ENGINE_KINDS:
+        raise ExecutionError(
+            f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}"
+        )
+    if kind == "row":
+        return ExecutionEngine(database, config, timing_model)
+    from repro.executor.columnar import ColumnarExecutionEngine
+
+    return ColumnarExecutionEngine(database, config, timing_model)

@@ -25,6 +25,7 @@ class ExplainNode:
     children: list["ExplainNode"] = field(default_factory=list)
 
     def to_dict(self) -> dict:
+        """JSON-ready nested dict view of this node and its children."""
         out = {
             "label": self.label,
             "estimated_rows": self.estimated_rows,
@@ -81,6 +82,7 @@ def explain_analyze_text(
     lines: list[str] = []
 
     def render(node: PlanNode, indent: int) -> None:
+        """Append one plan line (plus children) at the given indent depth."""
         pad = "  " * indent
         actual = result.node_actual_rows.get(id(node))
         actual_part = f" (actual rows={actual})" if actual is not None else ""

@@ -23,6 +23,7 @@ from repro.plans.physical import JoinNode, JoinType, ScanNode, ScanType
 from repro.sql.binder import BoundQuery, JoinPredicate
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.database import Database
+from repro.storage.index import ragged_ranges
 
 
 @dataclass
@@ -53,6 +54,7 @@ class OperatorMetrics:
         return self
 
     def copy(self) -> "OperatorMetrics":
+        """Independent copy of this work record."""
         return OperatorMetrics(**self.__dict__)
 
 
@@ -69,20 +71,39 @@ class Relation:
 
     @property
     def size(self) -> int:
+        """Number of (composite) tuples in the relation."""
         if not self.rows:
             return 0
         return len(next(iter(self.rows.values())))
 
     @property
     def aliases(self) -> frozenset[str]:
+        """Base-table aliases whose rows this relation carries."""
         return frozenset(self.rows)
 
     def select(self, positions: np.ndarray) -> "Relation":
         """Keep only the tuples at ``positions`` (positional indices)."""
         return Relation(rows={alias: ids[positions] for alias, ids in self.rows.items()})
 
+    def fetch(
+        self, database: Database, query: BoundQuery, alias: str, column: str
+    ) -> np.ndarray:
+        """Column values of ``alias.column`` for every tuple of this relation.
+
+        The engine's shared finalization layers (sort, aggregate, projection)
+        go through this hook, so an intermediate-result representation with a
+        different materialization strategy (the columnar engine's
+        :class:`~repro.executor.columnar.ColumnarBatch`) only has to override
+        ``fetch``/``select`` to plug in.
+        """
+        if alias not in self.rows:
+            raise ExecutionError(f"relation does not contain alias {alias!r}")
+        data = database.table_data(query.table_of(alias))
+        return data.gather(column, self.rows[alias])
+
     @staticmethod
     def from_row_ids(alias: str, row_ids: np.ndarray) -> "Relation":
+        """Single-alias relation over the given base-table row ids."""
         return Relation(rows={alias: np.asarray(row_ids, dtype=np.int64)})
 
 
@@ -90,10 +111,7 @@ def fetch_column(
     database: Database, query: BoundQuery, relation: Relation, alias: str, column: str
 ) -> np.ndarray:
     """Column values of ``alias.column`` for every tuple of ``relation``."""
-    if alias not in relation.rows:
-        raise ExecutionError(f"relation does not contain alias {alias!r}")
-    data = database.table_data(query.table_of(alias))
-    return data.column(column)[relation.rows[alias]]
+    return relation.fetch(database, query, alias, column)
 
 
 def join_match_positions(
@@ -119,10 +137,7 @@ def join_match_positions(
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     left_positions = np.repeat(np.arange(left_values.size, dtype=np.int64), counts)
-    right_offsets = np.concatenate(
-        [np.arange(int(l), int(h), dtype=np.int64) for l, h in zip(lo, hi) if h > l]
-    )
-    right_positions = order[right_offsets]
+    right_positions = order[ragged_ranges(lo, hi)]
     return left_positions, right_positions
 
 
@@ -367,33 +382,7 @@ def execute_join(
         left_pos = left_pos[not_null]
         right_pos = right_pos[not_null]
 
-    if node.join_type is JoinType.HASH:
-        metrics.cpu_ops += int(1.5 * right.size) + left.size
-        row_width = 60
-        inner_bytes = right.size * row_width
-        if inner_bytes > work_mem_bytes:
-            metrics.spill_bytes += inner_bytes
-    elif node.join_type is JoinType.MERGE:
-        metrics.sort_rows += left.size + right.size
-        metrics.cpu_ops += left.size + right.size
-    elif node.join_type is JoinType.NESTED_LOOP:
-        inner_scan = node.right if isinstance(node.right, ScanNode) else None
-        inner_index = None
-        if inner_scan is not None:
-            column = None
-            for predicate in node.predicates:
-                if predicate.involves(inner_scan.alias):
-                    column = predicate.column_for(inner_scan.alias)
-                    break
-            if column is not None:
-                inner_index = database.index(inner_scan.table, column)
-        if inner_index is not None:
-            metrics.index_pages += left.size * inner_index.height
-            metrics.cpu_ops += left.size * inner_index.height
-        else:
-            metrics.cpu_ops += max(left.size * right.size, 1)
-    else:  # pragma: no cover - defensive
-        raise ExecutionError(f"unknown join type {node.join_type!r}")
+    charge_join_type(database, node, left.size, right.size, work_mem_bytes, metrics)
 
     result = _combine(left, right, left_pos, right_pos)
 
@@ -409,6 +398,50 @@ def execute_join(
     metrics.tuples_out = result.size
     metrics.cpu_ops += result.size
     return result, metrics
+
+
+def charge_join_type(
+    database: Database,
+    node: JoinNode,
+    left_size: int,
+    right_size: int,
+    work_mem_bytes: int,
+    metrics: OperatorMetrics,
+) -> None:
+    """Charge the per-algorithm cost of a join into ``metrics``.
+
+    The charges model the *simulated* work of the chosen join algorithm (hash
+    build/probe, merge sorting, nested-loop iteration) and depend only on the
+    plan and the input sizes — never on how the engine actually computed the
+    match, which is what keeps simulated timings identical across engines.
+    """
+    if node.join_type is JoinType.HASH:
+        metrics.cpu_ops += int(1.5 * right_size) + left_size
+        row_width = 60
+        inner_bytes = right_size * row_width
+        if inner_bytes > work_mem_bytes:
+            metrics.spill_bytes += inner_bytes
+    elif node.join_type is JoinType.MERGE:
+        metrics.sort_rows += left_size + right_size
+        metrics.cpu_ops += left_size + right_size
+    elif node.join_type is JoinType.NESTED_LOOP:
+        inner_scan = node.right if isinstance(node.right, ScanNode) else None
+        inner_index = None
+        if inner_scan is not None:
+            column = None
+            for predicate in node.predicates:
+                if predicate.involves(inner_scan.alias):
+                    column = predicate.column_for(inner_scan.alias)
+                    break
+            if column is not None:
+                inner_index = database.index(inner_scan.table, column)
+        if inner_index is not None:
+            metrics.index_pages += left_size * inner_index.height
+            metrics.cpu_ops += left_size * inner_index.height
+        else:
+            metrics.cpu_ops += max(left_size * right_size, 1)
+    else:  # pragma: no cover - defensive
+        raise ExecutionError(f"unknown join type {node.join_type!r}")
 
 
 def _orient_predicate(
@@ -449,9 +482,12 @@ def _combine(
 MAX_CROSS_PRODUCT_TUPLES = 20_000_000
 
 
-def _cross_product(left: Relation, right: Relation) -> Relation:
-    left_size = left.size
-    right_size = right.size
+def cross_product_positions(left_size: int, right_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Left/right position arrays enumerating the full cross product.
+
+    Raises :class:`ExecutionError` when the product exceeds
+    :data:`MAX_CROSS_PRODUCT_TUPLES`, which the engine surfaces as a timeout.
+    """
     if left_size * right_size > MAX_CROSS_PRODUCT_TUPLES:
         raise ExecutionError(
             f"cross product of {left_size} x {right_size} tuples exceeds the "
@@ -459,4 +495,9 @@ def _cross_product(left: Relation, right: Relation) -> Relation:
         )
     left_pos = np.repeat(np.arange(left_size, dtype=np.int64), right_size)
     right_pos = np.tile(np.arange(right_size, dtype=np.int64), left_size)
+    return left_pos, right_pos
+
+
+def _cross_product(left: Relation, right: Relation) -> Relation:
+    left_pos, right_pos = cross_product_positions(left.size, right.size)
     return _combine(left, right, left_pos, right_pos)

@@ -51,10 +51,12 @@ class TimingBreakdown:
 
     @property
     def io_ms(self) -> float:
+        """Combined I/O time: buffer hits, sequential/random reads, index pages."""
         return self.io_hit_ms + self.io_seq_ms + self.io_random_ms + self.index_ms
 
     @property
     def total_ms(self) -> float:
+        """Total latency: all components summed, scaled by the noise factor."""
         base = (
             self.io_hit_ms
             + self.io_seq_ms

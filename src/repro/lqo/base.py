@@ -18,7 +18,7 @@ from repro.config import PostgresConfig
 from repro.encoding.plan_encoding import PlanTreeEncoder
 from repro.encoding.query_encoding import QueryEncoder
 from repro.errors import ExperimentError
-from repro.executor.engine import ExecutionEngine, ExecutionResult
+from repro.executor.engine import ExecutionResult, create_engine
 from repro.ml.tree_models import TreeConvolutionEncoder, TreeLSTMEncoder
 from repro.optimizer.planner import Planner, PlannerResult
 from repro.plans.hints import NO_HINTS, HintSet
@@ -86,11 +86,14 @@ class LQOEnvironment:
         seed: int = 0,
         deterministic_timing: bool = False,
         plan_cache: PlanCache | None = None,
+        engine: str = "columnar",
     ) -> None:
         self.database = database
         self.config = config or database.config
         self.planner = Planner(database, self.config, plan_cache=plan_cache)
-        self.engine = ExecutionEngine(database, self.config)
+        #: Execution engine, selected by kind (see :data:`repro.config.ENGINE_KINDS`).
+        #: Both kinds produce byte-identical results and simulated timings.
+        self.engine = create_engine(database, self.config, kind=engine)
         self.query_encoder = QueryEncoder(database)
         self.plan_encoder = PlanTreeEncoder(database.schema)
         self.tree_conv = TreeConvolutionEncoder(self.plan_encoder, hidden_size=hidden_size, seed=seed + 17)

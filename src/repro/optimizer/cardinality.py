@@ -213,9 +213,19 @@ class CardinalityEstimator:
         return max(estimated / true, true / estimated)
 
 
-def _evaluate_filter_mask(data, predicate: FilterPredicate) -> np.ndarray:
-    """Boolean mask of rows satisfying one filter (shared with the executor)."""
-    column = data.column(predicate.column)
+def _evaluate_filter_mask(
+    data, predicate: FilterPredicate, column: np.ndarray | None = None
+) -> np.ndarray:
+    """Boolean mask of rows satisfying one filter (shared with the executor).
+
+    ``column`` defaults to the full stored column; the columnar executor
+    passes an already-gathered slice instead (``data.gather(name, rows)``) so
+    that a filter over a small intermediate result never rescans the whole
+    table.  The mask semantics are identical either way: for any row subset
+    ``rows``, ``mask(column[rows]) == mask(column)[rows]``.
+    """
+    if column is None:
+        column = data.column(predicate.column)
     op = predicate.op
     if op in ("=", "!=", "<", "<=", ">", ">="):
         code = data.encode(predicate.column, predicate.value)

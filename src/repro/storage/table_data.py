@@ -57,10 +57,12 @@ class TableData:
     # -- basic geometry ------------------------------------------------------
     @property
     def name(self) -> str:
+        """Name of the table this data belongs to."""
         return self.table.name
 
     @property
     def row_count(self) -> int:
+        """Number of rows stored (0 for a table without materialized columns)."""
         if not self.columns:
             return 0
         return len(next(iter(self.columns.values())))
@@ -73,6 +75,7 @@ class TableData:
 
     # -- column access --------------------------------------------------------
     def column(self, name: str) -> np.ndarray:
+        """Full code array of one column (the canonical columnar accessor)."""
         try:
             return self.columns[name]
         except KeyError as exc:
@@ -80,10 +83,21 @@ class TableData:
                 f"table {self.table.name!r} has no materialized column {name!r}"
             ) from exc
 
+    def gather(self, name: str, row_ids: np.ndarray) -> np.ndarray:
+        """Codes of ``column[row_ids]`` — one vectorized gather.
+
+        This is the batch accessor the executor uses to materialize a column
+        for an intermediate result: ``row_ids`` may repeat and reorder rows
+        freely (as join results do).
+        """
+        return self.column(name)[row_ids]
+
     def has_column(self, name: str) -> bool:
+        """Whether ``name`` is a materialized column of this table."""
         return name in self.columns
 
     def column_names(self) -> list[str]:
+        """Names of every materialized column, in storage order."""
         return list(self.columns)
 
     def dictionary(self, name: str) -> list[str]:
@@ -100,6 +114,21 @@ class TableData:
                 return dictionary[code]
             return None
         return int(code)
+
+    def decode_many(self, name: str, codes: np.ndarray) -> list[object]:
+        """Decode a whole code array back to user-facing values in one pass.
+
+        Element-for-element identical to calling :meth:`decode` in a loop
+        (``None`` for NULL sentinels and out-of-dictionary codes, dictionary
+        strings for text columns, plain ``int`` otherwise) but works off a
+        single ``tolist()`` conversion instead of per-element numpy indexing.
+        """
+        values = np.asarray(codes, dtype=np.int64).tolist()
+        dictionary = self.dictionaries.get(name)
+        if dictionary is None:
+            return [None if code == NULL_SENTINEL else code for code in values]
+        size = len(dictionary)
+        return [dictionary[code] if 0 <= code < size else None for code in values]
 
     def encode(self, name: str, value: object) -> int:
         """Encode a user-facing literal into the stored code space.

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Markdown link checker (stdlib only) — the ``make docs-check`` gate.
+
+Walks every tracked ``*.md`` file in the repository and verifies that
+
+* relative links point at files or directories that exist,
+* fragment links (``...#heading`` or in-page ``#heading``) resolve to a
+  heading in the target file (GitHub-style slugs),
+* no link uses an absolute filesystem path.
+
+External links (``http(s)://``, ``mailto:``) are *not* fetched — CI must not
+depend on the network — but obviously malformed ones (empty target) still
+fail. Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories never scanned for markdown files.
+SKIP_DIRS = {".git", ".venv", "__pycache__", "node_modules", ".pytest_cache"}
+
+#: Inline markdown links: [text](target). Images share the syntax via ![...].
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+(?:\s+\"[^\"]*\")?)\)")
+
+#: ATX headings, for fragment resolution.
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+#: Fenced code blocks must not contribute links or headings.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files() -> list[Path]:
+    """Every markdown file in the repository outside skipped directories."""
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            files.append(path)
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, spaces to dashes."""
+    # Strip inline code/links down to their text before slugifying.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def visible_lines(path: Path) -> list[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes (with -1/-2 duplicates)."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in visible_lines(path):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken-link complaints for one markdown file."""
+    problems = []
+    for lineno, line in enumerate(visible_lines(path), start=1):
+        for raw in LINK_RE.findall(line):
+            target = raw.split('"')[0].strip().strip("<>")
+            where = f"{path.relative_to(REPO_ROOT)}:{lineno}"
+            if not target:
+                problems.append(f"{where}: empty link target")
+                continue
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("/"):
+                problems.append(f"{where}: absolute path link {target!r}")
+                continue
+            base, _, fragment = target.partition("#")
+            dest = (path.parent / base).resolve() if base else path
+            if not dest.exists():
+                problems.append(f"{where}: missing file {target!r}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in heading_slugs(dest):
+                    problems.append(f"{where}: missing anchor {target!r}")
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = [problem for path in files for problem in check_file(path)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"docs-check: {len(files)} markdown files, {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
