@@ -1,7 +1,10 @@
 # Developer entry points for the paper reproduction.
 #
 #   make test              - tier-1 test suite (the driver's gate)
-#   make lint              - ruff check (+ advisory format check), as in CI
+#   make lint              - ruff check + reprolint invariant linter
+#                            (+ advisory format check), as in CI
+#   make typecheck         - mypy over runtime/ + executor/ (skips with a
+#                            notice when mypy is not installed; advisory in CI)
 #   make bench-smoke       - one fast benchmark as an end-to-end smoke check
 #   make bench-parallel    - process-pool sweep with resume-skip assertion, as in CI
 #   make bench-distributed - work-queue sweep with a killed worker, lease
@@ -42,14 +45,22 @@ BENCH_PROGRESS_STORE ?= $(shell mktemp -d /tmp/repro-progress.XXXXXX)
 # value only needs to match between coordinator and workers).
 REPRO_QUEUE_SECRET ?= local-bench-secret
 
-.PHONY: test lint docs-check bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench-executor bench example
+.PHONY: test lint typecheck docs-check bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench-executor bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	ruff check .
+	$(PYTHON) -m tools.reprolint src
 	-ruff format --check .
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --config-file mypy.ini src/repro/runtime src/repro/executor; \
+	else \
+		echo "typecheck: mypy not installed, skipping (pip install mypy to enable)"; \
+	fi
 
 docs-check:
 	$(PYTHON) tools/check_docs_links.py

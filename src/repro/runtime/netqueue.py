@@ -318,9 +318,10 @@ class QueueServer:
 
     def close(self) -> None:
         """Stop serving and release the socket (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._server.shutdown()
         self._server.server_close()
         self._thread.join(timeout=10)
@@ -405,13 +406,16 @@ class QueueServer:
         return removed
 
     def write_stop(self) -> None:
-        self._stop = True
+        with self._lock:
+            self._stop = True
 
     def clear_stop(self) -> None:
-        self._stop = False
+        with self._lock:
+            self._stop = False
 
     def stop_requested(self) -> bool:
-        return self._stop
+        with self._lock:
+            return self._stop
 
     # ------------------------------------------------------------------ worker ops
     def claim(self, worker_id: str, shard: int | None = None) -> TaskClaim | None:

@@ -28,7 +28,16 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
+from repro.runtime.netqueue import QueueAuthError
 from repro.runtime.workqueue import QueueStats, WorkerQueueTransport
+
+#: What a progress poll may swallow (counted in ``stats_errors``): transport
+#: failures (``OSError`` covers sockets, timeouts and filesystem scans) and
+#: queue-protocol rejections (``ExperimentError``).  Genuine bugs — an
+#: ``AttributeError`` from a refactor, a ``TypeError`` in a callback — must
+#: propagate, not read as "queue idle"; :class:`QueueAuthError` is re-raised
+#: explicitly because a mis-keyed worker has to fail loudly.
+_POLL_ERRORS = (OSError, ExperimentError)
 
 #: Interval used when a callback is installed but no interval was configured.
 DEFAULT_PROGRESS_INTERVAL_S = 5.0
@@ -60,6 +69,11 @@ class ProgressSnapshot:
     workers: dict[str, int] = field(default_factory=dict)
     shard_pending: tuple[tuple[int, int], ...] = ()
     stolen: int = 0
+    #: Cumulative transport errors the reporter swallowed while polling
+    #: (failed ``stats()``/``worker_done_counts()`` calls).  A nonzero count
+    #: distinguishes "the queue is idle" from "the reporter cannot see the
+    #: queue" — previously both looked identical.
+    stats_errors: int = 0
 
     @property
     def remaining(self) -> int | None:
@@ -82,6 +96,7 @@ class ProgressSnapshot:
             "workers": dict(sorted(self.workers.items())),
             "shard_pending": [list(pair) for pair in self.shard_pending],
             "stolen": self.stolen,
+            "stats_errors": self.stats_errors,
         }
 
     def to_json(self) -> str:
@@ -107,6 +122,8 @@ class ProgressSnapshot:
             parts.append(f"workers {busiest}")
         if self.stolen:
             parts.append(f"{self.stolen} stolen")
+        if self.stats_errors:
+            parts.append(f"{self.stats_errors} stats errors")
         return " | ".join(parts)
 
 
@@ -143,6 +160,7 @@ class SweepProgress:
         self._started_at = clock()
         self._last_at = self._started_at
         self._last_done = 0
+        self._poll_errors = 0
         self.snapshots: list[ProgressSnapshot] = []
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -153,23 +171,35 @@ class SweepProgress:
             return self.snapshots[-1] if self.snapshots else None
 
     def poll_once(self) -> ProgressSnapshot:
-        """Take one snapshot now (raises if the queue is unreachable)."""
+        """Take one snapshot now (raises if the queue is unreachable).
+
+        Transport failures of the *secondary* reads (worker counts, stolen
+        counter) degrade to empty values and are tallied into the snapshot's
+        ``stats_errors``; anything else — an ``AttributeError`` from a
+        refactor, a mis-keyed :class:`QueueAuthError` — propagates.
+        """
         stats: QueueStats = self.queue.stats()
         workers: dict[str, int] = {}
+        errors = 0
         counts = getattr(self.queue, "worker_done_counts", None)
         if counts is not None:
             try:
                 workers = counts()
-            except Exception:  # reachable stats but not counts: degrade quietly
+            except QueueAuthError:
+                raise  # authentication failures must stay loud
+            except _POLL_ERRORS:  # reachable stats but not counts: degrade, counted
                 workers = {}
+                errors += 1
         stolen = 0
         if self._stolen is not None:
             try:
                 stolen = int(self._stolen())
-            except Exception:
+            except _POLL_ERRORS:
                 stolen = 0
+                errors += 1
         now = self._clock()
         with self._lock:
+            self._poll_errors += errors
             elapsed = max(now - self._started_at, 1e-9)
             overall = stats.done / elapsed
             window = max(now - self._last_at, 1e-9)
@@ -197,6 +227,7 @@ class SweepProgress:
                 workers=workers,
                 shard_pending=stats.shard_pending,
                 stolen=stolen,
+                stats_errors=self._poll_errors,
             )
             self.snapshots.append(snapshot)
             self._last_at = now
@@ -209,24 +240,34 @@ class SweepProgress:
         while not self._stop.wait(self.interval_s):
             try:
                 self.poll_once()
-            except Exception:
-                # A failed poll (queue torn down, transient socket error) must
-                # never kill the reporter — the next interval tries again, and
-                # stop() ends the loop.
+            except QueueAuthError:
+                raise  # mis-keyed secret: fail loudly, never read as idle
+            except _POLL_ERRORS:
+                # A *transport* failure (queue torn down mid-shutdown, a
+                # transient socket error) must never kill the reporter — the
+                # next interval tries again, and stop() ends the loop.  The
+                # skipped poll is tallied so the next snapshot's
+                # ``stats_errors`` reveals it; any other exception (a genuine
+                # bug, an authentication rejection) propagates and takes the
+                # thread down with a traceback instead of reading as idle.
+                with self._lock:
+                    self._poll_errors += 1
                 continue
 
     def start(self) -> "SweepProgress":
         """Start the background polling thread (idempotent)."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._run, name="repro-sweep-progress", daemon=True
-            )
-            self._thread.start()
+        with self._lock:
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-sweep-progress", daemon=True
+                )
+                self._thread.start()
         return self
 
     def stop(self) -> None:
         """Stop polling and join the thread (idempotent; takes no final snapshot)."""
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=10)
-            self._thread = None
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10)

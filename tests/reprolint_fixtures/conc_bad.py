@@ -1,0 +1,25 @@
+"""CONC fixture: a lock-owning, thread-spawning class with naked mutations."""
+
+import threading
+
+
+class LeakyCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._by_worker: dict[str, int] = {}
+        self._log: list[str] = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while True:
+            self.bump("w")
+
+    def bump(self, worker: str) -> None:
+        self._count += 1  # CONC401: augmented assign outside the lock
+        self._by_worker[worker] = self._count  # CONC401: item write outside the lock
+        self._log.append(worker)  # CONC401: container mutator outside the lock
+
+    def reset(self) -> None:
+        self._count = 0  # CONC401: plain assign outside the lock
+        del self._by_worker["w"]  # CONC401: item delete outside the lock

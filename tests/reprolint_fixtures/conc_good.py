@@ -1,0 +1,38 @@
+"""CONC fixture: guarded mutations, constructor writes, lockless classes."""
+
+import threading
+
+
+class GuardedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # __init__ is publication, exempt
+        self._by_worker: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.bump("w")
+
+    def bump(self, worker: str) -> None:
+        with self._lock:
+            self._count += 1
+            self._by_worker[worker] = self._count
+
+    def snapshot(self) -> int:
+        with self._lock:
+            return self._count  # reads are fine anywhere, guarded or not
+
+    def halt(self) -> None:
+        self._stop.set()  # Event carries its own synchronization
+
+
+class PlainBag:
+    """No lock attribute: CONC does not apply, mutate freely."""
+
+    def __init__(self) -> None:
+        self._items: list[int] = []
+
+    def add(self, item: int) -> None:
+        self._items.append(item)

@@ -1,0 +1,29 @@
+"""DET fixture: every call below violates a determinism rule."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp_result(result: dict) -> dict:
+    result["at"] = time.time()  # DET101
+    result["at_ns"] = time.time_ns()  # DET101
+    result["when"] = datetime.now().isoformat()  # DET102
+    return result
+
+
+def jitter() -> float:
+    return random.random()  # DET103
+
+
+def shuffled(values: list) -> list:
+    values = list(values)
+    random.shuffle(values)  # DET103
+    np.random.shuffle(values)  # DET103
+    return values
+
+
+def make_generators():
+    return random.Random(), np.random.default_rng()  # DET104 (twice)

@@ -1,0 +1,20 @@
+"""DET fixture: violations waived by per-line suppressions."""
+
+import time
+from datetime import datetime
+
+
+def exact_rule() -> float:
+    return time.time()  # reprolint: disable=DET101
+
+
+def family() -> str:
+    return datetime.now().isoformat()  # reprolint: disable=DET
+
+
+def everything() -> float:
+    return time.time_ns()  # reprolint: disable=all
+
+
+def still_flagged() -> float:
+    return time.time()  # a suppression on another line does not leak here

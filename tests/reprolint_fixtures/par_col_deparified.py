@@ -1,0 +1,21 @@
+"""PAR fixture: a columnar side that drifted from ``par_row`` twice over.
+
+``columnar_scan`` dropped the ``access_fraction`` charge entirely (the
+classic "optimized it away" regression) and ``columnar_join`` still charges,
+but with different arguments — both must fail PAR301.
+"""
+
+from tests.reprolint_fixtures.par_row import charge_join_type
+
+
+def columnar_scan(node, data, buffer_pool, metrics):
+    access = buffer_pool.access_pages(node.table, data.page_count, sequential=True)
+    metrics.pages_hit += access.hits
+    # access_fraction charge removed: the buffer pool never hears about the
+    # heap reads this operator simulates.
+    return metrics
+
+
+def columnar_join(database, node, left_size, right_size, work_mem, metrics):
+    charge_join_type(database, node, right_size, left_size, work_mem, metrics)
+    return metrics

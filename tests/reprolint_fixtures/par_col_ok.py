@@ -1,0 +1,16 @@
+"""PAR fixture: a columnar side whose charges mirror ``par_row`` exactly."""
+
+from tests.reprolint_fixtures.par_row import charge_join_type
+
+
+def columnar_scan(node, data, buffer_pool, metrics):
+    access = buffer_pool.access_pages(node.table, data.page_count, sequential=True)
+    metrics.pages_hit += access.hits
+    access = buffer_pool.access_fraction(node.table, data.page_count, 0.5, sequential=False)
+    metrics.random_pages_read += access.misses
+    return metrics
+
+
+def columnar_join(database, node, left_size, right_size, work_mem, metrics):
+    charge_join_type(database, node, left_size, right_size, work_mem, metrics)
+    return metrics

@@ -1,0 +1,18 @@
+"""PAR fixture: the row-engine side of a miniature operator pair."""
+
+
+def execute_scan(node, data, buffer_pool, metrics):
+    access = buffer_pool.access_pages(node.table, data.page_count, sequential=True)
+    metrics.pages_hit += access.hits
+    access = buffer_pool.access_fraction(node.table, data.page_count, 0.5, sequential=False)
+    metrics.random_pages_read += access.misses
+    return metrics
+
+
+def execute_join(database, node, left_size, right_size, work_mem, metrics):
+    charge_join_type(database, node, left_size, right_size, work_mem, metrics)
+    return metrics
+
+
+def charge_join_type(database, node, left_size, right_size, work_mem, metrics):
+    metrics.cpu_ops += left_size + right_size

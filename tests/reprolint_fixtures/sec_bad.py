@@ -1,0 +1,20 @@
+"""SEC fixture: unallowlisted and unverified unpickling (both must fail)."""
+
+import pickle
+from pickle import loads as sneaky_loads
+
+
+def cache_read(blob: bytes):
+    return pickle.loads(blob)  # SEC201: not an allowlisted function
+
+
+def aliased_read(blob: bytes):
+    return sneaky_loads(blob)  # SEC201: aliases do not dodge the rule
+
+
+def recv_frame_unverified(sock) -> object:
+    # Emulates a network decoder that unpickles without any auth gate:
+    # SEC202 (and SEC201 unless allowlisted).
+    header = sock.recv(6)
+    length = int.from_bytes(header[2:6], "big")
+    return pickle.loads(sock.recv(length))

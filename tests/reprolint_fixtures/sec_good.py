@@ -1,0 +1,31 @@
+"""SEC fixture: the verify-before-unpickle shapes that must pass.
+
+Mirrors the structure of ``repro.runtime.netqueue.recv_frame``: one branch
+authenticated by ``hmac.compare_digest``, one plaintext branch allowed only
+after an explicit unauthenticated-frame rejection guard.
+"""
+
+import hashlib
+import hmac
+import pickle
+
+
+class FrameAuthError(ConnectionError):
+    pass
+
+
+def recv_frame(sock, secret: bytes | None) -> object:
+    header = sock.recv(6)
+    signed = header[:2] == b"RS"
+    length = int.from_bytes(header[2:6], "big")
+    if signed:
+        digest = sock.recv(32)
+        blob = sock.recv(length)
+        if secret is None:
+            raise FrameAuthError("no secret configured")
+        if not hmac.compare_digest(digest, hmac.new(secret, blob, hashlib.sha256).digest()):
+            raise FrameAuthError("signature mismatch")
+        return pickle.loads(blob)  # dominated by the compare_digest gate
+    if secret is not None:
+        raise FrameAuthError("unauthenticated frame rejected")
+    return pickle.loads(sock.recv(length))  # dominated by the auth-raise guard

@@ -130,8 +130,61 @@ class TestProgressSnapshotMath:
         assert set(payload) == {
             "sequence", "elapsed_s", "pending", "claimed", "done", "failed", "total",
             "remaining", "throughput_per_s", "recent_throughput_per_s", "eta_s",
-            "workers", "shard_pending", "stolen",
+            "workers", "shard_pending", "stolen", "stats_errors",
         }
+        assert payload["stats_errors"] == 0
+
+    def test_transport_errors_in_secondary_reads_are_counted_not_silent(self):
+        # stats() succeeds but worker_done_counts()/stolen() fail with
+        # transport errors: the snapshot degrades (empty workers, stolen=0)
+        # and says so via stats_errors instead of silently reading as idle.
+        class CountlessQueue(ScriptedQueue):
+            def worker_done_counts(self):
+                raise OSError("counts endpoint unreachable")
+
+        def flaky_stolen():
+            raise OSError("coordinator gone")
+
+        clock = FakeClock()
+        queue = CountlessQueue([QueueStats(1, 0, 2, 0)])
+        reporter = SweepProgress(queue, total=3, interval_s=1.0, clock=clock, stolen=flaky_stolen)
+        clock.advance(1.0)
+        first = reporter.poll_once()
+        assert first.workers == {} and first.stolen == 0
+        assert first.stats_errors == 2  # one for counts, one for stolen
+        clock.advance(1.0)
+        second = reporter.poll_once()
+        assert second.stats_errors == 4  # cumulative across polls
+        assert "4 stats errors" in second.describe()
+        assert second.to_dict()["stats_errors"] == 4
+
+    def test_genuine_bugs_are_not_swallowed_by_the_poll(self):
+        # An AttributeError (e.g. from a refactor renaming the counts hook's
+        # internals) is a bug, not a transport failure: it must propagate.
+        class BrokenQueue(ScriptedQueue):
+            def worker_done_counts(self):
+                raise AttributeError("'NoneType' object has no attribute 'items'")
+
+        clock = FakeClock()
+        reporter = SweepProgress(BrokenQueue([QueueStats(0, 0, 0, 0)]), interval_s=1.0, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(AttributeError):
+            reporter.poll_once()
+
+    def test_auth_rejection_stays_loud_in_secondary_reads(self):
+        # QueueAuthError subclasses ExperimentError, but a mis-keyed reporter
+        # must never degrade quietly into "no workers".
+        from repro.runtime.netqueue import QueueAuthError
+
+        class MiskeyedQueue(ScriptedQueue):
+            def worker_done_counts(self):
+                raise QueueAuthError("queue frame signature mismatch")
+
+        clock = FakeClock()
+        reporter = SweepProgress(MiskeyedQueue([QueueStats(0, 0, 0, 0)]), interval_s=1.0, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(QueueAuthError):
+            reporter.poll_once()
 
     def test_invalid_parameters_rejected(self):
         queue = ScriptedQueue([QueueStats(0, 0, 0, 0)])
@@ -205,6 +258,9 @@ class TestReporterThread:
         reporter.stop()
         assert reporter.latest is not None  # survived the failing polls in between
         assert queue.calls >= 2
+        # The swallowed transport errors are visible, not silent: the first
+        # stats() call raised, so every later snapshot counts it.
+        assert reporter.latest.stats_errors >= 1
 
 
 class TestWorkerProgressFlag:

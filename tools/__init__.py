@@ -1,0 +1,1 @@
+"""Repository tooling (stdlib-only): docs link checker, reprolint."""

@@ -1,0 +1,186 @@
+"""CONC rule: lock-owning classes guard their shared ``self._*`` mutations.
+
+The runtime's coordinator threads, heartbeats, progress reporters and the
+TCP queue's handler threads all share objects whose classes announce their
+concurrency story by creating a ``self._lock``.  That announcement is the
+contract CONC401 enforces: once a class constructs a ``threading.Lock`` /
+``RLock`` attribute, every mutation of an underscore-prefixed ``self``
+attribute outside ``__init__`` must happen inside a ``with self._lock``
+block.  (``__init__`` runs before the object is shared — publication
+happens-before any other thread's access — so construction is exempt; reads
+are not flagged, a deliberate precision trade-off documented in
+``docs/STATIC_ANALYSIS.md``.)
+
+Mutations recognised: attribute assignment and augmented assignment
+(``self._x = ...``, ``self._x += ...``), item assignment/deletion on the
+attribute (``self._d[k] = ...``, ``del self._d[k]``), and calls to the
+standard container mutators (``self._d.pop(...)``, ``self._s.add(...)``,
+...).  Calls like ``self._stop.set()`` on a ``threading.Event`` are not in
+the mutator list — events carry their own synchronization.
+
+A guard is any enclosing ``with`` whose context expression mentions an
+identifier containing ``lock`` (``self._lock``, a module-level
+``_PRINT_LOCK``); the rule checks guardedness, not *which* lock — one lock
+per class is the codebase's convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from tools.reprolint.astutil import dotted_name
+from tools.reprolint.config import LintConfig, path_matches
+from tools.reprolint.findings import Finding
+
+#: Methods whose bodies are construction, exempt from guarding.
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+#: Container methods that mutate their receiver.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: Lock constructors that mark a class as CONC-audited.
+_LOCK_CONSTRUCTORS = {"threading.Lock", "threading.RLock", "Lock", "RLock"}
+
+
+def _self_underscore_attr(node: ast.AST) -> str | None:
+    """``_name`` when ``node`` is ``self._name``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr.startswith("_")
+        and not node.attr.startswith("__")
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr>`` bound to a ``threading.Lock()``/``RLock()``."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        ctor = dotted_name(node.value.func)
+        if ctor not in _LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            attr = _self_underscore_attr(target)
+            if attr is not None:
+                attrs.add(attr)
+    return attrs
+
+
+def _mentions_lock(node: ast.AST) -> bool:
+    """Whether any identifier under ``node`` contains ``lock``."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and "lock" in inner.id.lower():
+            return True
+        if isinstance(inner, ast.Attribute) and "lock" in inner.attr.lower():
+            return True
+    return False
+
+
+def _is_guarded(node: ast.AST) -> bool:
+    """Whether ``node`` sits inside a ``with <...lock...>`` (needs parents)."""
+    current = getattr(node, "parent", None)
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            if any(_mentions_lock(item.context_expr) for item in current.items):
+                return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Locks do not flow across function boundaries here: a helper
+            # must take the lock itself (or be renamed *_locked and given a
+            # suppression) rather than assume its caller holds it.
+            return False
+        current = getattr(current, "parent", None)
+    return False
+
+
+def _mutations(method: ast.AST):
+    """Yield ``(node, attr, verb)`` for each shared-attribute mutation."""
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue  # bare annotation: declares, does not mutate
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_underscore_attr(target)
+                if attr is not None:
+                    yield node, attr, "assigns"
+                if isinstance(target, ast.Subscript):
+                    attr = _self_underscore_attr(target.value)
+                    if attr is not None:
+                        yield node, attr, "writes an item of"
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        attr = _self_underscore_attr(element)
+                        if attr is not None:
+                            yield node, attr, "assigns"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_underscore_attr(target)
+                if attr is not None:
+                    yield node, attr, "deletes"
+                if isinstance(target, ast.Subscript):
+                    attr = _self_underscore_attr(target.value)
+                    if attr is not None:
+                        yield node, attr, "deletes an item of"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                attr = _self_underscore_attr(func.value)
+                if attr is not None:
+                    yield node, attr, f"calls .{func.attr}() on"
+
+
+def check(tree: ast.AST, path: Path, config: LintConfig) -> list[Finding]:
+    """CONC findings for one parsed module (parents must be attached)."""
+    if not path_matches(path, config.conc_paths):
+        return []
+    findings: list[Finding] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks = _lock_attrs(cls)
+        if not locks:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _CONSTRUCTORS:
+                continue
+            for node, attr, verb in _mutations(method):
+                if attr in locks:
+                    continue  # re-binding the lock itself is its own hazard, not this rule's
+                if _is_guarded(node):
+                    continue
+                findings.append(
+                    Finding(
+                        str(path),
+                        node.lineno,
+                        node.col_offset,
+                        "CONC401",
+                        f"{cls.name}.{method.name} {verb} shared attribute "
+                        f"'self.{attr}' outside 'with self.{next(iter(sorted(locks)))}'",
+                    )
+                )
+    return findings

@@ -1,0 +1,135 @@
+"""The lint driver: file discovery, rule dispatch, suppressions.
+
+``lint_paths`` walks the given files/directories, parses each ``*.py`` once,
+attaches parent links, runs the per-file rule families (DET, SEC, CONC),
+then resolves and runs the cross-module PAR check.  Per-line suppressions —
+``# reprolint: disable=RULE[,RULE...]`` with a rule id, a family (``DET``)
+or ``all`` — are honoured last, so a suppressed line still costs the
+analysis but never the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from tools.reprolint import conc, det, par, sec
+from tools.reprolint.astutil import attach_parents
+from tools.reprolint.config import LintConfig, ParitySpec, path_matches
+from tools.reprolint.findings import Finding
+
+#: ``# reprolint: disable=DET101,SEC`` (case-sensitive ids, spaces tolerated).
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def line_suppressions(source: str) -> dict[int, set[str]]:
+    """Line number -> set of suppressed rule ids/families for one file."""
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            tokens = {token.strip() for token in match.group(1).split(",") if token.strip()}
+            if tokens:
+                suppressions[lineno] = tokens
+    return suppressions
+
+
+def is_suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
+    """Whether a per-line comment waives this finding."""
+    tokens = suppressions.get(finding.line, set())
+    if not tokens:
+        return False
+    if "all" in tokens or finding.rule in tokens:
+        return True
+    family = finding.rule.rstrip("0123456789")
+    return family in tokens
+
+
+def discover(paths: list[Path], config: LintConfig) -> list[Path]:
+    """Every ``*.py`` file under ``paths``, deterministic order."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(part in config.skip_dirs for part in candidate.parts):
+                    continue
+                files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    return [path for path in files if not path_matches(path, config.skip_paths)]
+
+
+def lint_file(path: Path, config: LintConfig) -> list[Finding]:
+    """All per-file findings (DET + SEC + CONC) for one source file."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return [Finding(str(path), getattr(exc, "lineno", 1) or 1, 0, "E999", str(exc))]
+    attach_parents(tree)
+    findings = det.check(tree, path, config)
+    findings += sec.check(tree, path, config)
+    findings += conc.check(tree, path, config)
+    suppressions = line_suppressions(source)
+    return [finding for finding in findings if not is_suppressed(finding, suppressions)]
+
+
+def resolve_parity_spec(files: list[Path], config: LintConfig) -> ParitySpec | list[Finding] | None:
+    """Locate the configured engine pair among the scanned files.
+
+    Returns a :class:`ParitySpec` when both modules are present, a PAR302
+    finding list when exactly one is (an engine module vanished), and
+    ``None`` when neither is in scope (e.g. linting an unrelated subtree).
+    """
+    if config.par_row_module is None or config.par_columnar_module is None or not config.par_pairs:
+        return None
+    row = [path for path in files if path_matches(path, (config.par_row_module,))]
+    col = [path for path in files if path_matches(path, (config.par_columnar_module,))]
+    if not row and not col:
+        return None
+    if not row or not col:
+        present = (row or col)[0]
+        missing = config.par_row_module if not row else config.par_columnar_module
+        return [
+            Finding(
+                str(present),
+                1,
+                0,
+                "PAR302",
+                f"engine pair incomplete: no scanned file matches {missing!r}",
+            )
+        ]
+    return ParitySpec(
+        row_path=row[0],
+        columnar_path=col[0],
+        pairs=config.par_pairs,
+        charge_calls=config.par_charge_calls,
+    )
+
+
+def lint_paths(paths: list[Path | str], config: LintConfig | None = None) -> list[Finding]:
+    """Lint files/directories; returns every unsuppressed finding, sorted."""
+    from tools.reprolint.config import default_config
+
+    config = config or default_config()
+    files = discover([Path(path) for path in paths], config)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, config))
+    parity = resolve_parity_spec(files, config)
+    if isinstance(parity, ParitySpec):
+        parity_findings = par.check_parity(parity)
+        suppressions = {
+            str(module): line_suppressions(module.read_text(encoding="utf-8"))
+            for module in (parity.row_path, parity.columnar_path)
+            if module.exists()
+        }
+        findings.extend(
+            finding
+            for finding in parity_findings
+            if not is_suppressed(finding, suppressions.get(finding.path, {}))
+        )
+    elif isinstance(parity, list):
+        findings.extend(parity)
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,125 @@
+"""PAR rule: the two engines charge the buffer pool identically.
+
+``docs/EXECUTOR.md``'s oracle contract says the columnar operators must
+charge the buffer pool with *the same calls in the same order* and compute
+metrics with the same arithmetic as their row counterparts — that is what
+makes the row engine a byte-exact oracle for results, ``OperatorMetrics``
+and simulated timings.  The equivalence property suite checks this at
+runtime for the plans it happens to execute; PAR checks it for *every*
+textual call site:
+
+* **PAR301** — for a paired operator, the ordered sequence of buffer-pool
+  charge calls (``access_pages``, ``access_fraction``, ``charge_join_type``)
+  extracted from the row module differs from the columnar module's sequence.
+  Calls are compared as rendered source — name, positional arguments and
+  keywords — so a charge whose *arguments* drift (``sequential=True`` vs
+  ``False``, a different page count expression) fails, not just a missing
+  or reordered call.
+* **PAR302** — one side of a configured pair has no function of the
+  expected name (an operator was renamed or deleted in one engine only).
+
+The comparison is deliberately textual: both modules are written against the
+same local vocabulary (``node``, ``data``, ``buffer_pool``), and a rename
+that breaks the comparison is exactly the review moment the rule should
+force.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.astutil import calls_in_order, dotted_name
+from tools.reprolint.config import ParitySpec
+from tools.reprolint.findings import Finding
+
+
+def _charge_signature(call: ast.Call, charge_calls: frozenset[str]) -> str | None:
+    """Canonical rendering of a charge call, or ``None`` for other calls."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    short = name.split(".")[-1]
+    if short not in charge_calls:
+        return None
+    rendered = [ast.unparse(arg) for arg in call.args]
+    rendered += [f"{kw.arg}={ast.unparse(kw.value)}" for kw in call.keywords]
+    return f"{short}({', '.join(rendered)})"
+
+
+def _functions(tree: ast.AST) -> dict[str, ast.FunctionDef]:
+    """Top-level (and method) function definitions by name, first wins."""
+    functions: dict[str, ast.FunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.setdefault(node.name, node)
+    return functions
+
+
+def charge_sequence(function: ast.AST, charge_calls: frozenset[str]) -> list[tuple[int, str]]:
+    """``(line, signature)`` for each charge call in source order."""
+    sequence: list[tuple[int, str]] = []
+    for call in calls_in_order(function):
+        signature = _charge_signature(call, charge_calls)
+        if signature is not None:
+            sequence.append((call.lineno, signature))
+    return sequence
+
+
+def check_parity(spec: ParitySpec) -> list[Finding]:
+    """PAR findings comparing the configured row/columnar module pair."""
+    findings: list[Finding] = []
+    try:
+        row_tree = ast.parse(spec.row_path.read_text(encoding="utf-8"))
+        col_tree = ast.parse(spec.columnar_path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError) as exc:
+        return [Finding(str(spec.columnar_path), 1, 0, "E999", f"parity inputs unreadable: {exc}")]
+    row_functions = _functions(row_tree)
+    col_functions = _functions(col_tree)
+    for pair in spec.pairs:
+        row_fn = row_functions.get(pair.row_function)
+        col_fn = col_functions.get(pair.columnar_function)
+        if row_fn is None or col_fn is None:
+            missing_path = spec.row_path if row_fn is None else spec.columnar_path
+            missing_name = pair.row_function if row_fn is None else pair.columnar_function
+            findings.append(
+                Finding(
+                    str(missing_path),
+                    1,
+                    0,
+                    "PAR302",
+                    f"operator '{pair.operator}': function {missing_name} not found "
+                    f"(its engine counterpart still exists)",
+                )
+            )
+            continue
+        row_seq = charge_sequence(row_fn, spec.charge_calls)
+        col_seq = charge_sequence(col_fn, spec.charge_calls)
+        if [sig for _, sig in row_seq] == [sig for _, sig in col_seq]:
+            continue
+        detail = _divergence(row_seq, col_seq)
+        findings.append(
+            Finding(
+                str(spec.columnar_path),
+                col_fn.lineno,
+                col_fn.col_offset,
+                "PAR301",
+                f"operator '{pair.operator}': buffer-pool charge sequences diverge "
+                f"between {pair.row_function} and {pair.columnar_function}: {detail}",
+            )
+        )
+    return findings
+
+
+def _divergence(row_seq: list[tuple[int, str]], col_seq: list[tuple[int, str]]) -> str:
+    """Human-readable first point of divergence between two charge sequences."""
+    for index, (row, col) in enumerate(zip(row_seq, col_seq)):
+        if row[1] != col[1]:
+            return (
+                f"call #{index + 1} is {row[1]!r} (row, line {row[0]}) "
+                f"vs {col[1]!r} (columnar, line {col[0]})"
+            )
+    if len(row_seq) > len(col_seq):
+        line, sig = row_seq[len(col_seq)]
+        return f"columnar side is missing charge #{len(col_seq) + 1}: {sig!r} (row line {line})"
+    line, sig = col_seq[len(row_seq)]
+    return f"row side is missing charge #{len(row_seq) + 1}: {sig!r} (columnar line {line})"
