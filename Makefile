@@ -17,6 +17,9 @@
 #   make bench-executor    - row vs columnar engine on the full JOB workload;
 #                            asserts byte-equivalence and writes the speedup
 #                            to BENCH_executor_columnar.json
+#   make fuzz-engines      - 1000 seeded random queries through the row
+#                            engine, the columnar engine and a brute-force
+#                            oracle; failing queries land in FUZZ_CORPUS
 #   make bench             - every benchmark at reduced scale
 #   make docs-check        - markdown link check over README + docs/, as in CI
 #   make example           - the parallel+resume runtime demo
@@ -41,11 +44,15 @@ BENCH_DISTRIBUTED_TCP_STORE ?= $(shell mktemp -d /tmp/repro-dist-tcp.XXXXXX)
 # Store of the progress-telemetry sweep (bench-progress).
 BENCH_PROGRESS_STORE ?= $(shell mktemp -d /tmp/repro-progress.XXXXXX)
 
+# Failing-query corpus of the differential fuzz run (fuzz-engines); one JSON
+# file per diverging query, empty on success.
+FUZZ_CORPUS ?= $(shell mktemp -d /tmp/repro-fuzz-corpus.XXXXXX)
+
 # Shared HMAC secret of the authenticated TCP sweeps (override to taste; the
 # value only needs to match between coordinator and workers).
 REPRO_QUEUE_SECRET ?= local-bench-secret
 
-.PHONY: test lint typecheck docs-check bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench-executor bench example
+.PHONY: test lint typecheck docs-check bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench-executor fuzz-engines bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -91,6 +98,10 @@ bench-progress:
 
 bench-executor:
 	$(PYTHON) -m pytest benchmarks/bench_executor_columnar.py -q -s
+
+fuzz-engines:
+	REPRO_FUZZ_COUNT=1000 REPRO_FUZZ_CORPUS=$(FUZZ_CORPUS) \
+	$(PYTHON) -m pytest tests/test_fuzz_engines.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -13,6 +13,10 @@ slow drift in machine load hits both engines equally; the reported speedup
 uses the best repetition of each engine.  The result is saved both into the
 session result store and as ``BENCH_executor_columnar.json`` at the repo root
 (override the location with ``REPRO_BENCH_ENGINE_JSON``).
+
+A second section runs LEFT/FULL outer joins and grouped aggregates (absent
+from JOB itself) through the same cold+hot protocol, asserting per-repetition
+byte-equivalence of rows, metrics and simulated timings across both engines.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from pathlib import Path
 from repro.executor.engine import create_engine
 from repro.experiments.common import job_context
 from repro.optimizer.planner import Planner
+from repro.sql.binder import bind_sql
 
 #: Database scale of the engine comparison.  Deliberately *not* the generic
 #: ``REPRO_BENCH_SCALE`` smoke scale: at tiny scales both engines finish in
@@ -76,6 +81,52 @@ def _assert_byte_identical(row_results, columnar_results, plans):
         assert row_res.execution_time_ms == col_res.execution_time_ms, (
             f"{name}: simulated timing differs"
         )
+
+
+#: Outer-join / grouped-aggregate protocol section: the JOB workload is
+#: inner-join only, so these hand-written queries over the same IMDB schema
+#: exercise LEFT/FULL NULL extension and GROUP BY decoration under the same
+#: cold+hot repetition protocol, asserting byte-equivalence per repetition.
+OUTER_PROTOCOL_SQLS = (
+    "SELECT COUNT(*) FROM title AS t LEFT JOIN movie_keyword AS mk ON t.id = mk.movie_id",
+    "SELECT COUNT(*), COUNT(k.id) FROM movie_keyword AS mk "
+    "FULL OUTER JOIN keyword AS k ON mk.keyword_id = k.id",
+    "SELECT t.kind_id, COUNT(*), MIN(t.production_year) FROM title AS t "
+    "JOIN movie_keyword AS mk ON t.id = mk.movie_id "
+    "LEFT JOIN keyword AS k ON mk.keyword_id = k.id "
+    "GROUP BY t.kind_id",
+)
+
+
+def test_outer_join_grouped_aggregate_protocol():
+    """LEFT/FULL joins + GROUP BY through the Figure 4 protocol, both engines."""
+    context = job_context(min(ENGINE_BENCH_SCALE, 0.1))
+    database = context.database.with_config(context.database.config)
+    planner = Planner(database)
+    plans = [
+        (bind_sql(sql, database.schema, name=f"outer_bench_{i}"), sql)
+        for i, sql in enumerate(OUTER_PROTOCOL_SQLS)
+    ]
+    for query, sql in plans:
+        plan = planner.plan(query)
+        # Fresh engine per side resets the seeded timing noise stream, so the
+        # repetition-by-repetition comparison below is exact.
+        results = {}
+        for kind in ("row", "columnar"):
+            engine = create_engine(database, database.config, kind=kind)
+            database.drop_caches()
+            results[kind] = [engine.execute(query, plan) for _ in range(RUNS_PER_QUERY)]
+        for rep, (row_res, col_res) in enumerate(
+            zip(results["row"], results["columnar"])
+        ):
+            assert row_res.rows == col_res.rows, f"{sql} (rep {rep}): rows differ"
+            assert row_res.metrics.__dict__ == col_res.metrics.__dict__, (
+                f"{sql} (rep {rep}): work profile differs"
+            )
+            assert row_res.execution_time_ms == col_res.execution_time_ms, (
+                f"{sql} (rep {rep}): simulated timing differs"
+            )
+        assert results["row"][-1].row_count > 0, f"{sql}: empty result"
 
 
 def test_columnar_engine_speedup_on_job(benchmark, result_store):

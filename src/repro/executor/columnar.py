@@ -44,8 +44,11 @@ from repro.executor.operators import (
     charge_join_type,
     cross_product_positions,
     evaluate_filter_mask,
+    gather_rows,
     index_nestloop_inner,
     join_match_positions,
+    null_extend_positions,
+    take_rows,
 )
 from repro.plans.physical import JoinNode, ScanNode, ScanType
 from repro.sql.binder import BoundQuery
@@ -60,7 +63,10 @@ class _Lineage:
     tuple of position arrays: ``chain[0]`` indexes into ``base``, ``chain[1]``
     indexes into ``chain[0]``, and so on.  The materialized row ids are
     ``base[chain[0][chain[1][...]]]`` — composed right to left so every
-    intermediate array already has the (small) final size.
+    intermediate array already has the (small) final size.  Composition goes
+    through :func:`~repro.executor.operators.take_rows`, so the virtual
+    ``NULL_ROW_ID`` positions outer joins record propagate instead of
+    wrapping around to the last element.
     """
 
     __slots__ = ("base", "chain")
@@ -79,8 +85,8 @@ class _Lineage:
             return self.base
         acc = self.chain[-1]
         for positions in reversed(self.chain[:-1]):
-            acc = positions[acc]
-        return self.base[acc]
+            acc = take_rows(positions, acc)
+        return take_rows(self.base, acc)
 
 
 class ColumnarBatch:
@@ -154,7 +160,7 @@ class ColumnarBatch:
     ) -> np.ndarray:
         """Column values of ``alias.column`` for every tuple of this batch."""
         data = database.table_data(query.table_of(alias))
-        return data.gather(column, self.row_ids(alias))
+        return gather_rows(data, column, self.row_ids(alias))
 
     # -- constructors --------------------------------------------------------
     @staticmethod
@@ -342,6 +348,66 @@ def columnar_join(
     return result, metrics
 
 
+def columnar_outer_join(
+    database: Database,
+    query: BoundQuery,
+    node: JoinNode,
+    left: ColumnarBatch,
+    right: ColumnarBatch,
+    buffer_pool: BufferPool,
+    work_mem_bytes: int,
+) -> tuple[ColumnarBatch, OperatorMetrics]:
+    """Outer join two batches; accounting identical to ``execute_outer_join``.
+
+    Secondary ON predicates filter the matched positions *before* NULL
+    extension (they are part of the join condition, not post-join filters),
+    then :func:`~repro.executor.operators.null_extend_positions` appends the
+    unmatched tuples with ``NULL_ROW_ID`` on the absent side — the same shared
+    helper, and therefore the same row order, as the row engine.  The batch
+    built from the extended positions keeps the virtual row id lazily in its
+    lineage chains; ``fetch`` decodes it to the NULL sentinel on demand.
+    """
+    metrics = OperatorMetrics()
+    metrics.tuples_in = left.size + right.size
+
+    if not node.predicates:
+        raise ExecutionError("outer join requires at least one join predicate")
+
+    primary = node.predicates[0]
+    left_alias, left_column, right_alias, right_column = _orient_predicate(primary, left, right)
+
+    left_values = left.fetch(database, query, left_alias, left_column)
+    right_values = right.fetch(database, query, right_alias, right_column)
+
+    left_pos, right_pos = join_match_positions(left_values, right_values)
+    # NULL never equals NULL — and a NULL-extended left tuple from an earlier
+    # outer fold carries sentinel keys, so it simply re-extends here.
+    if left_pos.size:
+        not_null = left_values[left_pos] != NULL_SENTINEL
+        left_pos = left_pos[not_null]
+        right_pos = right_pos[not_null]
+
+    for predicate in node.predicates[1:]:
+        la, lc, ra, rc = _orient_predicate(predicate, left, right)
+        lvals = left.fetch(database, query, la, lc)[left_pos]
+        rvals = right.fetch(database, query, ra, rc)[right_pos]
+        keep = (lvals == rvals) & (lvals != NULL_SENTINEL)
+        metrics.cpu_ops += int(left_pos.size)
+        left_pos = left_pos[keep]
+        right_pos = right_pos[keep]
+
+    charge_join_type(database, node, left.size, right.size, work_mem_bytes, metrics)
+
+    left_pos, right_pos = null_extend_positions(
+        node.join_kind, left.size, right.size, left_pos, right_pos
+    )
+    result = ColumnarBatch.join(left, right, left_pos, right_pos)
+
+    metrics.tuples_out = result.size
+    metrics.cpu_ops += result.size
+    return result, metrics
+
+
 def columnar_index_nestloop(
     database: Database,
     query: BoundQuery,
@@ -418,7 +484,7 @@ def columnar_index_nestloop(
 class ColumnarExecutionEngine(ExecutionEngine):
     """Drop-in engine running the columnar operators above.
 
-    Everything outside the three operator hooks — timing, timeouts, sort,
+    Everything outside the four operator hooks — timing, timeouts, sort,
     aggregation, projection, EXPLAIN row counts — is inherited unchanged from
     :class:`~repro.executor.engine.ExecutionEngine`, which is exactly what
     guarantees the two engines can only diverge inside the operators (where
@@ -426,6 +492,18 @@ class ColumnarExecutionEngine(ExecutionEngine):
     """
 
     kind = "columnar"
+
+    def _outer_join_node(self, query: BoundQuery, node: JoinNode, left, right):
+        """LEFT/FULL outer join with lazy NULL-extended lineages."""
+        return columnar_outer_join(
+            self.database,
+            query,
+            node,
+            left,
+            right,
+            self.database.buffer_pool,
+            self.config.work_mem,
+        )
 
     def _scan_node(self, query: BoundQuery, node: ScanNode):
         """Evaluate one base-table scan columnar-style."""

@@ -21,6 +21,7 @@ from repro.executor.operators import (
     Relation,
     execute_index_nestloop,
     execute_join,
+    execute_outer_join,
     execute_scan,
     fetch_column,
     index_nestloop_inner,
@@ -28,6 +29,7 @@ from repro.executor.operators import (
 from repro.executor.timing import TimingModel
 from repro.plans.physical import (
     AggregateNode,
+    JoinKind,
     JoinNode,
     PlanNode,
     ScanNode,
@@ -63,7 +65,8 @@ class ExecutionEngine:
     simple — it doubles as the correctness oracle the equivalence test suite
     holds the optimized :class:`~repro.executor.columnar.ColumnarExecutionEngine`
     against.  Subclasses swap execution strategies by overriding the
-    ``_scan_node`` / ``_join_node`` / ``_index_nestloop_node`` operator hooks;
+    ``_scan_node`` / ``_join_node`` / ``_index_nestloop_node`` /
+    ``_outer_join_node`` operator hooks;
     everything above them (timing, timeout handling, sort/aggregate/projection
     finalization, EXPLAIN row accounting) is shared and must stay
     byte-identical across engines.
@@ -132,7 +135,7 @@ class ExecutionEngine:
         )
 
     # -------------------------------------------------------------- operator hooks
-    # Engines override these three methods to swap execution strategies.  Each
+    # Engines override these four methods to swap execution strategies.  Each
     # returns ``(relation, metrics)`` exactly like the operator functions in
     # :mod:`repro.executor.operators`; the shared recursion below does the
     # metric merging and per-node row accounting.
@@ -156,6 +159,18 @@ class ExecutionEngine:
         """Probe the inner side of ``node`` per outer tuple via its index."""
         return execute_index_nestloop(
             self.database, query, node, left, self.database.buffer_pool
+        )
+
+    def _outer_join_node(self, query: BoundQuery, node: JoinNode, left: Relation, right: Relation):
+        """LEFT/FULL outer join: inner matching plus NULL-extended unmatched rows."""
+        return execute_outer_join(
+            self.database,
+            query,
+            node,
+            left,
+            right,
+            self.database.buffer_pool,
+            self.config.work_mem,
         )
 
     # ------------------------------------------------------------------ recursion
@@ -183,7 +198,10 @@ class ExecutionEngine:
                 node_rows[id(node)] = relation.size
                 return relation
             right = self._evaluate(query, node.right, total_metrics, node_rows)
-            relation, metrics = self._join_node(query, node, left, right)
+            if node.join_kind is not JoinKind.INNER:
+                relation, metrics = self._outer_join_node(query, node, left, right)
+            else:
+                relation, metrics = self._join_node(query, node, left, right)
             total_metrics.merge(metrics)
             node_rows[id(node)] = relation.size
             return relation

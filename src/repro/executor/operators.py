@@ -19,11 +19,53 @@ import numpy as np
 from repro.catalog.statistics import NULL_SENTINEL
 from repro.errors import ExecutionError
 from repro.optimizer.cardinality import _evaluate_filter_mask as evaluate_filter_mask
-from repro.plans.physical import JoinNode, JoinType, ScanNode, ScanType
+from repro.plans.physical import JoinKind, JoinNode, JoinType, ScanNode, ScanType
 from repro.sql.binder import BoundQuery, JoinPredicate
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.database import Database
 from repro.storage.index import ragged_ranges
+
+#: Virtual row id of a NULL-extended outer-join tuple.  Distinct from any
+#: stored row: fetching it yields :data:`NULL_SENTINEL` for every column, so
+#: NULL-extended output is never conflated with stored NULLs at the storage
+#: layer (no sentinel is ever written into a table).
+NULL_ROW_ID = -1
+
+
+def gather_rows(data, column: str, row_ids: np.ndarray) -> np.ndarray:
+    """Column codes for ``row_ids``, mapping :data:`NULL_ROW_ID` to the sentinel.
+
+    Every fetch of intermediate-result columns must go through this helper:
+    raw numpy indexing (``TableData.gather``) would silently wrap the virtual
+    row id -1 to the *last* stored row.
+    """
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    extended = row_ids < 0
+    if not extended.any():
+        return data.gather(column, row_ids)
+    out = np.full(row_ids.size, NULL_SENTINEL, dtype=np.int64)
+    real = ~extended
+    if real.any():
+        out[real] = data.gather(column, row_ids[real])
+    return out
+
+
+def take_rows(values: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """``values[positions]`` with negative positions propagating NULL_ROW_ID.
+
+    Used wherever row-id arrays are re-indexed by join/select positions, so a
+    NULL-extended tuple stays NULL-extended through later operators instead
+    of wrapping around to the last element.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    extended = positions < 0
+    if not extended.any():
+        return values[positions]
+    out = np.full(positions.size, NULL_ROW_ID, dtype=np.int64)
+    real = ~extended
+    if real.any():
+        out[real] = values[positions[real]]
+    return out
 
 
 @dataclass
@@ -83,7 +125,7 @@ class Relation:
 
     def select(self, positions: np.ndarray) -> "Relation":
         """Keep only the tuples at ``positions`` (positional indices)."""
-        return Relation(rows={alias: ids[positions] for alias, ids in self.rows.items()})
+        return Relation(rows={alias: take_rows(ids, positions) for alias, ids in self.rows.items()})
 
     def fetch(
         self, database: Database, query: BoundQuery, alias: str, column: str
@@ -99,7 +141,7 @@ class Relation:
         if alias not in self.rows:
             raise ExecutionError(f"relation does not contain alias {alias!r}")
         data = database.table_data(query.table_of(alias))
-        return data.gather(column, self.rows[alias])
+        return gather_rows(data, column, self.rows[alias])
 
     @staticmethod
     def from_row_ids(alias: str, row_ids: np.ndarray) -> "Relation":
@@ -260,6 +302,10 @@ def index_nestloop_inner(database: Database, node: JoinNode):
     """
     if node.join_type is not JoinType.NESTED_LOOP:
         return None
+    if node.join_kind is not JoinKind.INNER:
+        # Outer joins always go through the shared materialized join path so
+        # NULL extension happens in one place.
+        return None
     inner = node.right
     if not isinstance(inner, ScanNode):
         return None
@@ -400,6 +446,90 @@ def execute_join(
     return result, metrics
 
 
+def null_extend_positions(
+    join_kind: JoinKind,
+    left_size: int,
+    right_size: int,
+    left_pos: np.ndarray,
+    right_pos: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extend matched join positions with NULL-extended unmatched tuples.
+
+    Output order is deterministic and purely positional: matched pairs first
+    (in match order), then unmatched left tuples ascending paired with
+    :data:`NULL_ROW_ID`, then — for FULL joins — unmatched right tuples
+    ascending with NULL_ROW_ID on the left.  Both engines share this helper
+    verbatim, which is what keeps their row order byte-identical.
+    """
+    if join_kind is JoinKind.INNER:
+        return left_pos, right_pos
+    unmatched_left = np.setdiff1d(np.arange(left_size, dtype=np.int64), left_pos)
+    lefts = [left_pos, unmatched_left]
+    rights = [right_pos, np.full(unmatched_left.size, NULL_ROW_ID, dtype=np.int64)]
+    if join_kind is JoinKind.FULL:
+        unmatched_right = np.setdiff1d(np.arange(right_size, dtype=np.int64), right_pos)
+        lefts.append(np.full(unmatched_right.size, NULL_ROW_ID, dtype=np.int64))
+        rights.append(unmatched_right)
+    return np.concatenate(lefts), np.concatenate(rights)
+
+
+def execute_outer_join(
+    database: Database,
+    query: BoundQuery,
+    node: JoinNode,
+    left: Relation,
+    right: Relation,
+    buffer_pool: BufferPool,
+    work_mem_bytes: int,
+) -> tuple[Relation, OperatorMetrics]:
+    """Evaluate a LEFT or FULL outer join over materialized child relations.
+
+    Matching is identical to the inner join (NULL keys never match), but all
+    secondary ON predicates are applied positionally *before* NULL extension
+    — they are part of the join condition, not post-join filters — and the
+    unmatched tuples are appended as NULL-extended output afterwards.
+    """
+    metrics = OperatorMetrics()
+    metrics.tuples_in = left.size + right.size
+
+    if not node.predicates:
+        raise ExecutionError("outer join requires at least one join predicate")
+
+    primary = node.predicates[0]
+    left_alias, left_column, right_alias, right_column = _orient_predicate(primary, left, right)
+
+    left_values = fetch_column(database, query, left, left_alias, left_column)
+    right_values = fetch_column(database, query, right, right_alias, right_column)
+
+    left_pos, right_pos = join_match_positions(left_values, right_values)
+    # NULL never equals NULL — and a NULL-extended left tuple from an earlier
+    # outer fold carries sentinel keys, so it simply re-extends here.
+    if left_pos.size:
+        not_null = left_values[left_pos] != NULL_SENTINEL
+        left_pos = left_pos[not_null]
+        right_pos = right_pos[not_null]
+
+    for predicate in node.predicates[1:]:
+        la, lc, ra, rc = _orient_predicate(predicate, left, right)
+        lvals = fetch_column(database, query, left, la, lc)[left_pos]
+        rvals = fetch_column(database, query, right, ra, rc)[right_pos]
+        keep = (lvals == rvals) & (lvals != NULL_SENTINEL)
+        metrics.cpu_ops += int(left_pos.size)
+        left_pos = left_pos[keep]
+        right_pos = right_pos[keep]
+
+    charge_join_type(database, node, left.size, right.size, work_mem_bytes, metrics)
+
+    left_pos, right_pos = null_extend_positions(
+        node.join_kind, left.size, right.size, left_pos, right_pos
+    )
+    result = _combine(left, right, left_pos, right_pos)
+
+    metrics.tuples_out = result.size
+    metrics.cpu_ops += result.size
+    return result, metrics
+
+
 def charge_join_type(
     database: Database,
     node: JoinNode,
@@ -470,9 +600,9 @@ def _combine(
 ) -> Relation:
     rows: dict[str, np.ndarray] = {}
     for alias, ids in left.rows.items():
-        rows[alias] = ids[left_pos]
+        rows[alias] = take_rows(ids, left_pos)
     for alias, ids in right.rows.items():
-        rows[alias] = ids[right_pos]
+        rows[alias] = take_rows(ids, right_pos)
     return Relation(rows=rows)
 
 

@@ -165,6 +165,26 @@ class CardinalityEstimator:
             rows *= self.join_selectivity(query, predicate)
         return max(rows, MIN_ROWS)
 
+    def outer_join_rows(
+        self,
+        query: BoundQuery,
+        join_kind: str,
+        left_rows: float,
+        right_rows: float,
+        predicates: Iterable[JoinPredicate],
+    ) -> float:
+        """Estimated output rows of a LEFT or FULL outer join.
+
+        The inner-match estimate is extended by the unmatched probe rows
+        (both sides for FULL), mirroring PostgreSQL's calc_joinrel_size
+        lower bounds: a LEFT join emits at least ``left_rows`` rows.
+        """
+        inner = self.join_rows(query, left_rows, right_rows, predicates)
+        rows = inner + max(left_rows - inner, 0.0)
+        if join_kind == "full":
+            rows += max(right_rows - inner, 0.0)
+        return max(rows, MIN_ROWS)
+
     def rows_for(self, query: BoundQuery, aliases: Iterable[str]) -> float:
         """Estimated result size of the sub-query restricted to ``aliases``.
 

@@ -14,11 +14,11 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.config import PAGE_SIZE_BYTES, PostgresConfig
-from repro.errors import OptimizerError
+from repro.errors import HintError, OptimizerError
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.plans.hints import HintSet, NO_HINTS
-from repro.plans.physical import JoinNode, JoinType, PlanNode, ScanNode, ScanType
-from repro.sql.binder import BoundQuery, FilterPredicate, JoinPredicate
+from repro.plans.physical import JoinKind, JoinNode, JoinType, PlanNode, ScanNode, ScanType
+from repro.sql.binder import BoundQuery, FilterPredicate, JoinPredicate, OuterJoinEdge
 from repro.storage.database import Database
 
 #: Deterministic ordering of join types for tie-breaking.
@@ -327,19 +327,32 @@ class CostModel:
         left: PlanNode,
         right: PlanNode,
         predicates: Sequence[JoinPredicate] | None = None,
+        join_kind: JoinKind = JoinKind.INNER,
     ) -> JoinNode:
-        """Build a join node of a specific type with estimates attached."""
+        """Build a join node of a specific type with estimates attached.
+
+        For LEFT/FULL kinds the inner-match estimates are extended by the
+        NULL-extended unmatched rows: extra output rows beyond the inner
+        estimate cost one ``cpu_tuple_cost`` each.
+        """
         if predicates is None:
             predicates = query.joins_between(left.aliases, right.aliases)
+        left_rows = max(left.estimated_rows, 1.0)
+        right_rows = max(right.estimated_rows, 1.0)
         cost = self.join_cost(query, join_type, left, right, predicates)
-        rows = self.estimator.join_rows(
-            query, max(left.estimated_rows, 1.0), max(right.estimated_rows, 1.0), predicates
-        )
+        rows = self.estimator.join_rows(query, left_rows, right_rows, predicates)
+        if join_kind is not JoinKind.INNER:
+            out_rows = self.estimator.outer_join_rows(
+                query, join_kind.value.lower(), left_rows, right_rows, predicates
+            )
+            cost += max(out_rows - rows, 0.0) * self.config.cpu_tuple_cost
+            rows = out_rows
         node = JoinNode(
             join_type=join_type,
             left=left,
             right=right,
             predicates=tuple(predicates),
+            join_kind=join_kind,
         )
         return node.with_estimates(rows, cost)  # type: ignore[return-value]
 
@@ -375,6 +388,54 @@ class CostModel:
         assert best is not None
         return best
 
+    def best_outer_join(
+        self,
+        query: BoundQuery,
+        edge: OuterJoinEdge,
+        left: PlanNode,
+        right: PlanNode,
+        hints: HintSet = NO_HINTS,
+    ) -> JoinNode:
+        """Cheapest allowed outer join folding ``edge`` onto ``left``.
+
+        ``right`` must be the scan of the edge's nullable alias; the operand
+        order is pinned by the edge, never commuted.  FULL joins only support
+        HASH and MERGE (as in PostgreSQL); a hint forcing NESTED_LOOP on a
+        FULL edge fails loudly instead of silently degrading.
+        """
+        join_kind = JoinKind.LEFT if edge.join_type == "left" else JoinKind.FULL
+        kind_allowed = (
+            list(JOIN_TYPE_ORDER)
+            if join_kind is JoinKind.LEFT
+            else [JoinType.HASH, JoinType.MERGE]
+        )
+        forced = hints.join_method_for(left.aliases | right.aliases)
+        if forced is not None:
+            if forced not in kind_allowed:
+                raise HintError(
+                    f"join method {forced.value!r} is not supported for "
+                    f"{join_kind.value.upper()} JOIN {edge.nullable_alias!r}"
+                )
+            allowed = [forced]
+        else:
+            enables = self.resolve_enables(hints)
+            allowed = [t for t in enables.allowed_join_types() if t in kind_allowed]
+            if not allowed:
+                allowed = kind_allowed
+        best: JoinNode | None = None
+        order = {jtype: i for i, jtype in enumerate(JOIN_TYPE_ORDER)}
+        for join_type in allowed:
+            node = self.join_node(
+                query, join_type, left, right, edge.predicates, join_kind=join_kind
+            )
+            if best is None or (node.estimated_cost, order[node.join_type]) < (
+                best.estimated_cost,
+                order[best.join_type],
+            ):
+                best = node
+        assert best is not None
+        return best
+
     # ---------------------------------------------------------------------- plans
     def plan_cost(self, plan: PlanNode) -> float:
         """Total estimated cost of a plan (already attached by construction)."""
@@ -398,7 +459,10 @@ class CostModel:
             assert plan.left is not None and plan.right is not None
             left = self.recost_plan(query, plan.left)
             right = self.recost_plan(query, plan.right)
-            return self.join_node(query, plan.join_type, left, right, plan.predicates or None)
+            return self.join_node(
+                query, plan.join_type, left, right, plan.predicates or None,
+                join_kind=plan.join_kind,
+            )
         children = plan.children()
         if not children:
             return plan

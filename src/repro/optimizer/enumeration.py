@@ -26,6 +26,21 @@ from repro.plans.physical import JoinNode, PlanNode
 from repro.sql.binder import BoundQuery
 
 
+def require_inner_only(query: BoundQuery, caller: str) -> None:
+    """Reject queries with outer-join edges in inner-only enumerators.
+
+    Outer edges pin their operand order, so the raw enumerators would
+    silently mistreat their predicates as reorderable inner joins; callers
+    must enumerate ``query.core_query()`` and fold the edges afterwards (as
+    the planner and :func:`enumerate_join_trees` do).
+    """
+    if query.outer_edges:
+        raise OptimizerError(
+            f"{caller} only enumerates inner joins; plan the core query and "
+            "fold the outer-join edges in syntax order instead"
+        )
+
+
 def _connected(graph: nx.Graph, aliases: frozenset[str]) -> bool:
     if len(aliases) <= 1:
         return True
@@ -45,6 +60,7 @@ def left_deep_plan_from_order(
     forces them.  Cross products are allowed (they simply cost a lot), which
     lets GEQO evaluate arbitrary permutations.
     """
+    require_inner_only(query, "left_deep_plan_from_order")
     if not order:
         raise OptimizerError("cannot build a plan for an empty join order")
     missing = set(order) - set(query.aliases)
@@ -67,6 +83,7 @@ def greedy_plan(
     Produces bushy plans when beneficial.  Used for very large queries when
     dynamic programming is infeasible and GEQO is disabled.
     """
+    require_inner_only(query, "greedy_plan")
     plans: list[PlanNode] = [cost_model.best_scan(query, alias, hints) for alias in query.aliases]
     if not plans:
         raise OptimizerError("query has no relations")
@@ -105,6 +122,7 @@ class DPEnumerator:
 
     def plan(self, query: BoundQuery, hints: HintSet = NO_HINTS) -> PlanNode:
         """Return the cheapest plan found by dynamic programming."""
+        require_inner_only(query, "DPEnumerator")
         aliases = list(query.aliases)
         n = len(aliases)
         if n == 0:
@@ -198,7 +216,23 @@ def enumerate_join_trees(
     Every yielded plan covers all relations; scan and join methods are picked
     by the cost model per node.  Shapes include left-deep, right-deep, zigzag
     and bushy trees — exactly the space analysed in Section 8.7.
+
+    Outer-join edges never reorder: only the inner-join core is enumerated,
+    and every yielded core shape is wrapped by the pinned outer folds in
+    syntax order (the nullable side always on the right).
     """
+    if query.outer_edges:
+        core_query = query.core_query()
+        for core_plan in enumerate_join_trees(
+            core_query, cost_model, hints, max_relations, allow_cross_products
+        ):
+            plan = core_plan
+            for edge in query.outer_edges:
+                right = cost_model.best_scan(query, edge.nullable_alias, hints)
+                plan = cost_model.best_outer_join(query, edge, plan, right, hints)
+            yield plan
+        return
+
     aliases = list(query.aliases)
     n = len(aliases)
     if n > max_relations:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.errors import OptimizerError
 from repro.optimizer.cost_model import CostModel
-from repro.optimizer.enumeration import left_deep_plan_from_order
+from repro.optimizer.enumeration import left_deep_plan_from_order, require_inner_only
 from repro.plans.hints import HintSet, NO_HINTS
 from repro.plans.physical import PlanNode
 from repro.runtime.fingerprint import stable_seed
@@ -108,6 +108,7 @@ class GeqoEnumerator:
     # --------------------------------------------------------------------- search
     def plan(self, query: BoundQuery, hints: HintSet = NO_HINTS) -> PlanNode:
         """Run the genetic search and return the best plan found."""
+        require_inner_only(query, "GeqoEnumerator")
         aliases = list(query.aliases)
         if not aliases:
             raise OptimizerError("query has no relations")

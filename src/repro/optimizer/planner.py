@@ -30,7 +30,7 @@ from repro.optimizer.enumeration import (
     left_deep_plan_from_order,
 )
 from repro.optimizer.geqo import GeqoEnumerator, GeqoParameters
-from repro.plans.hints import HintSet, NO_HINTS
+from repro.plans.hints import HintSet, NO_HINTS, split_leading_for_outer
 from repro.plans.physical import AggregateNode, PlanNode, SortNode
 from repro.runtime.plan_cache import PlanCache
 from repro.sql.binder import BoundQuery
@@ -120,6 +120,9 @@ class Planner:
         if n == 1:
             return STRATEGY_DP, self.cost_model.best_scan(query, query.aliases[0], hints)
 
+        if query.outer_edges:
+            return self._plan_with_outer_edges(query, hints)
+
         if hints.forces_join_order and len(hints.leading) == n:
             plan = self._plan_forced_order(query, hints)
             return STRATEGY_FORCED, plan
@@ -142,6 +145,23 @@ class Planner:
             return STRATEGY_GREEDY, greedy_plan(query, self.cost_model, hints)
 
         return STRATEGY_DP, self._dp.plan(query, hints)
+
+    def _plan_with_outer_edges(self, query: BoundQuery, hints: HintSet) -> tuple[str, PlanNode]:
+        """Plan the freely reorderable inner core, then fold the outer edges.
+
+        Outer-join edges pin their operand order, so they never enter the
+        enumerators: the inner-join core is planned by the regular strategy
+        dispatch, and each edge is folded on top in syntax order with the
+        nullable side as a fresh scan on the right.  Hints that would force
+        a reordering across an outer edge raise :class:`HintError`.
+        """
+        outer_order = [edge.nullable_alias for edge in query.outer_edges]
+        core_hints = split_leading_for_outer(hints, query.core_aliases, outer_order)
+        strategy, plan = self._plan_core(query.core_query(), core_hints)
+        for edge in query.outer_edges:
+            right = self.cost_model.best_scan(query, edge.nullable_alias, hints)
+            plan = self.cost_model.best_outer_join(query, edge, plan, right, hints)
+        return strategy, plan
 
     def _plan_forced_order(self, query: BoundQuery, hints: HintSet) -> PlanNode:
         """Build a plan that follows an exact, hint-provided left-deep join order."""

@@ -54,15 +54,58 @@ class AggregateItem:
         return rendered
 
 
+#: Logical join kinds of the dialect (``right`` joins are normalized away by
+#: the parser: ``A RIGHT JOIN B`` is not part of the grammar).
+JOIN_TYPES = ("inner", "left", "full")
+
+
 @dataclass(frozen=True)
 class JoinCondition:
-    """An equi-join condition ``left = right`` between two column references."""
+    """An equi-join condition ``left = right`` between two column references.
+
+    ``join_type`` records the logical join the condition belongs to:
+    ``"inner"`` for comma-form/``JOIN ... ON`` conditions, ``"left"`` /
+    ``"full"`` for conditions of an outer-join clause.  The field is excluded
+    from ``repr`` so that inner-only statements keep their historical
+    rendering (which participates in query fingerprints).
+    """
 
     left: ColumnRef
     right: ColumnRef
+    join_type: str = field(default="inner", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.join_type not in JOIN_TYPES:
+            raise ValueError(f"unknown join type {self.join_type!r}")
 
     def __str__(self) -> str:
         return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An explicit ``[LEFT|FULL] JOIN table ON cond [AND cond]*`` clause.
+
+    The clause introduces ``table`` into the FROM list; every condition's
+    ``join_type`` matches the clause's.  The flat ``SelectStatement.joins``
+    list still holds all conditions (clause conditions included) so that
+    consumers of the conjunctive representation keep working unchanged.
+    """
+
+    join_type: str
+    table: TableRef
+    conditions: tuple[JoinCondition, ...]
+
+    def __post_init__(self) -> None:
+        if self.join_type not in JOIN_TYPES:
+            raise ValueError(f"unknown join type {self.join_type!r}")
+        if not self.conditions:
+            raise ValueError("explicit JOIN clause requires at least one ON condition")
+
+    def __str__(self) -> str:
+        keyword = "JOIN" if self.join_type == "inner" else f"{self.join_type.upper()} JOIN"
+        conditions = " AND ".join(str(c) for c in self.conditions)
+        return f"{keyword} {self.table} ON {conditions}"
 
 
 Literal = Union[int, float, str, None]
@@ -156,6 +199,10 @@ class SelectStatement:
     group_by: list[ColumnRef] = field(default_factory=list)
     order_by: list[OrderItem] = field(default_factory=list)
     limit: int | None = None
+    #: Explicit ``JOIN ... ON`` clauses, in syntax order.  Empty for the
+    #: comma-form FROM list.  Excluded from ``repr`` so inner-only statements
+    #: keep their historical rendering (which participates in fingerprints).
+    join_clauses: list[JoinClause] = field(default_factory=list, repr=False)
 
     @property
     def aliases(self) -> list[str]:
@@ -168,9 +215,22 @@ class SelectStatement:
     def to_sql(self) -> str:
         """Render the statement back to SQL text (round-trips through the parser)."""
         select = ", ".join(str(item) for item in self.select_items) or "*"
-        from_clause = ", ".join(str(t) for t in self.from_tables)
+        if self.join_clauses:
+            from_clause = " ".join(
+                [str(self.from_tables[0])] + [str(clause) for clause in self.join_clauses]
+            )
+            # Clause conditions render inside their ON lists; anything left in
+            # the flat list (rare, programmatic) still renders in WHERE.
+            where_joins = list(self.joins)
+            for clause in self.join_clauses:
+                for condition in clause.conditions:
+                    if condition in where_joins:
+                        where_joins.remove(condition)
+        else:
+            from_clause = ", ".join(str(t) for t in self.from_tables)
+            where_joins = list(self.joins)
         parts = [f"SELECT {select}", f"FROM {from_clause}"]
-        predicates = [str(j) for j in self.joins] + [str(f) for f in self.filters]
+        predicates = [str(j) for j in where_joins] + [str(f) for f in self.filters]
         if predicates:
             parts.append("WHERE " + " AND ".join(predicates))
         if self.group_by:

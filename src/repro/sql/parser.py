@@ -1,14 +1,23 @@
 """Recursive-descent parser for the benchmark SQL dialect.
 
-The grammar (conjunctive SPJ queries with optional GROUP BY / ORDER BY / LIMIT):
+The grammar (conjunctive SPJ queries with optional GROUP BY / ORDER BY / LIMIT).
+The FROM clause is either the comma form (implicit inner joins spelled in
+WHERE) or a chain of explicit ``JOIN ... ON`` clauses; the two forms cannot
+be mixed in one statement:
 
 .. code-block:: text
 
-    select    := SELECT item (',' item)* FROM table (',' table)*
+    select    := SELECT item (',' item)* FROM from_clause
                  [WHERE predicate (AND predicate)*]
                  [GROUP BY colref (',' colref)*]
                  [ORDER BY order_item (',' order_item)*]
                  [LIMIT number] [';']
+    from_clause := table (',' table)*                   -- comma form
+               | table join_clause+                     -- explicit form
+    join_clause := [INNER] JOIN table ON on_cond (AND on_cond)*
+               | LEFT [OUTER] JOIN table ON on_cond (AND on_cond)*
+               | FULL [OUTER] JOIN table ON on_cond (AND on_cond)*
+    on_cond   := colref '=' colref                      -- equi-join only
     item      := agg '(' (colref | '*') ')' [AS name] | colref
     table     := identifier [AS] [identifier]
     predicate := colref '=' colref                      -- join
@@ -28,6 +37,7 @@ from repro.sql.ast import (
     ColumnRef,
     ComparisonFilter,
     InFilter,
+    JoinClause,
     JoinCondition,
     LikeFilter,
     Literal,
@@ -88,11 +98,32 @@ class _Parser:
 
         self.expect_keyword("from")
         from_tables = [self._parse_table_ref()]
+        comma_form = False
         while self.current.ttype is TokenType.COMMA:
             self.advance()
             from_tables.append(self._parse_table_ref())
+            comma_form = True
+
+        join_clauses: list[JoinClause] = []
+        while self._at_join_clause():
+            if comma_form:
+                raise SQLSyntaxError(
+                    "cannot mix a comma-form FROM list with explicit JOIN clauses",
+                    position=self.current.position,
+                )
+            clause = self._parse_join_clause()
+            join_clauses.append(clause)
+            from_tables.append(clause.table)
+        if join_clauses and self.current.ttype is TokenType.COMMA:
+            raise SQLSyntaxError(
+                "cannot mix explicit JOIN clauses with a comma-form FROM list",
+                position=self.current.position,
+            )
 
         statement = SelectStatement(select_items=select_items, from_tables=from_tables)
+        statement.join_clauses.extend(join_clauses)
+        for clause in join_clauses:
+            statement.joins.extend(clause.conditions)
 
         if self.accept_keyword("where"):
             self._parse_predicate(statement)
@@ -153,6 +184,49 @@ class _Parser:
         if self.accept_keyword("as"):
             output_name = self.expect(TokenType.IDENTIFIER).value
         return AggregateItem(function=None, column=column, output_name=output_name)
+
+    def _at_join_clause(self) -> bool:
+        token = self.current
+        return token.ttype is TokenType.KEYWORD and token.value in (
+            "join",
+            "inner",
+            "left",
+            "full",
+        )
+
+    def _parse_join_clause(self) -> JoinClause:
+        if self.accept_keyword("inner"):
+            join_type = "inner"
+        elif self.accept_keyword("left"):
+            join_type = "left"
+            self.accept_keyword("outer")
+        elif self.accept_keyword("full"):
+            join_type = "full"
+            self.accept_keyword("outer")
+        else:
+            join_type = "inner"
+        self.expect_keyword("join")
+        table = self._parse_table_ref()
+        self.expect_keyword("on")
+        conditions = [self._parse_on_condition(join_type)]
+        while self.accept_keyword("and"):
+            conditions.append(self._parse_on_condition(join_type))
+        return JoinClause(join_type=join_type, table=table, conditions=tuple(conditions))
+
+    def _parse_on_condition(self, join_type: str) -> JoinCondition:
+        left = self._parse_column_ref()
+        operator = self.expect(TokenType.OPERATOR)
+        if operator.value != "=":
+            raise SQLSyntaxError(
+                "ON conditions must be equi-join conditions", position=operator.position
+            )
+        if self.current.ttype is not TokenType.IDENTIFIER:
+            raise SQLSyntaxError(
+                "ON conditions must compare two column references",
+                position=self.current.position,
+            )
+        right = self._parse_column_ref()
+        return JoinCondition(left=left, right=right, join_type=join_type)
 
     def _parse_table_ref(self) -> TableRef:
         table = self.expect(TokenType.IDENTIFIER).value

@@ -1,0 +1,253 @@
+"""A seeded random SQL generator walking the schema's foreign-key graph.
+
+Inspired by the sampler-config style of defio/sqlgen: three small frozen
+configs (:class:`JoinSamplerConfig`, :class:`PredicateSamplerConfig`,
+:class:`AggregateSamplerConfig`) describe the query distribution, and
+:class:`RandomSqlGenerator` turns ``(schema, seed, index)`` into one SQL
+string deterministically.  Every emitted query *binds* — the generator only
+produces shapes the binder accepts:
+
+* The FROM clause is a chain of explicit ``JOIN ... ON`` clauses whose ON
+  conditions always anchor the newly introduced alias on an alias that is
+  already in scope, walking foreign-key edges in either direction (so both
+  fan-out and self-joins through a shared parent occur naturally).
+* ``LEFT``/``FULL OUTER JOIN`` clauses are sampled with configurable
+  probability.  The binder's reorderability rules are respected by
+  construction: inner joins never anchor on a nullable (outer-introduced)
+  alias, and once a FULL join has made every alias nullable only outer
+  clauses follow.
+* Filters are single-table predicates (integer comparisons and
+  ``IS [NOT] NULL`` on nullable columns — deliberately NULL-heavy), which the
+  dialect applies at scan level below any join.
+* The SELECT list is aggregate-only (``COUNT(*)`` plus optional ``MIN``/
+  ``MAX``), optionally grouped — the decoration shapes both engines must
+  reproduce byte-identically.
+
+The per-query RNG is ``random.Random(stable_seed(schema.name, seed, index))``:
+changing the index reseeds from scratch, so a single ``(schema, seed)`` pair
+addresses millions of distinct, reproducible queries with no generation-order
+coupling — query ``i`` is the same whether or not queries ``0..i-1`` were
+ever rendered.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.schema import ColumnType, Schema
+from repro.errors import WorkloadError
+from repro.runtime.fingerprint import stable_seed
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_select
+from repro.workloads.workload import BenchmarkQuery, Workload
+
+
+@dataclass(frozen=True)
+class JoinSamplerConfig:
+    """Distribution of the join chain."""
+
+    min_joins: int = 0
+    max_joins: int = 4
+    #: Probability that a sampled join clause is an outer join.
+    outer_fraction: float = 0.35
+    #: Probability that a sampled *outer* join is FULL rather than LEFT.
+    full_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_joins <= self.max_joins:
+            raise WorkloadError("join sampler needs 0 <= min_joins <= max_joins")
+
+
+@dataclass(frozen=True)
+class PredicateSamplerConfig:
+    """Distribution of scan-level filters."""
+
+    max_filters: int = 2
+    #: Probability that a sampled filter is ``IS [NOT] NULL`` instead of a
+    #: comparison — kept high on purpose: NULL-heavy predicates are where the
+    #: sentinel/NULL-extension rules can go wrong.
+    null_fraction: float = 0.35
+    comparison_ops: tuple[str, ...] = ("=", "<", "<=", ">", ">=")
+    #: Inclusive range integer comparison literals are drawn from.
+    literal_range: tuple[int, int] = (0, 12)
+
+
+@dataclass(frozen=True)
+class AggregateSamplerConfig:
+    """Distribution of the SELECT list."""
+
+    #: Probability that the query gets a GROUP BY over one sampled column.
+    group_by_fraction: float = 0.4
+    #: Extra aggregates sampled on top of the always-present ``COUNT(*)``.
+    max_aggregates: int = 2
+    functions: tuple[str, ...] = ("min", "max")
+
+
+class RandomSqlGenerator:
+    """Deterministic ``(schema, seed, index) -> SQL`` sampler."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        seed: int = 0,
+        joins: JoinSamplerConfig | None = None,
+        predicates: PredicateSamplerConfig | None = None,
+        aggregates: AggregateSamplerConfig | None = None,
+    ) -> None:
+        if len(schema) == 0:
+            raise WorkloadError("cannot generate queries over an empty schema")
+        self.schema = schema
+        self.seed = seed
+        self.joins = joins or JoinSamplerConfig()
+        self.predicates = predicates or PredicateSamplerConfig()
+        self.aggregates = aggregates or AggregateSamplerConfig()
+        # Table-level FK adjacency, both directions: table -> [(column,
+        # other_table, other_column)].  Sorted for deterministic iteration.
+        adjacency: dict[str, list[tuple[str, str, str]]] = {}
+        for fk in schema.foreign_keys:
+            adjacency.setdefault(fk.child_table, []).append(
+                (fk.child_column, fk.parent_table, fk.parent_column)
+            )
+            adjacency.setdefault(fk.parent_table, []).append(
+                (fk.parent_column, fk.child_table, fk.child_column)
+            )
+        self._adjacency = {table: sorted(edges) for table, edges in adjacency.items()}
+        self._tables = schema.table_names()
+
+    # ------------------------------------------------------------------ sampling
+    def sql(self, index: int) -> str:
+        """Render query number ``index`` (deterministic, order-independent)."""
+        rng = random.Random(stable_seed(self.schema.name, self.seed, index))
+        aliases, from_sql = self._sample_from_clause(rng)
+        filters = self._sample_filters(rng, aliases)
+        select_items, group_by = self._sample_select(rng, aliases)
+        parts = [f"SELECT {', '.join(select_items)}", f"FROM {from_sql}"]
+        if filters:
+            parts.append("WHERE " + " AND ".join(filters))
+        if group_by:
+            parts.append("GROUP BY " + ", ".join(group_by))
+        return " ".join(parts)
+
+    def _sample_from_clause(self, rng: random.Random) -> tuple[dict[str, str], str]:
+        """Sample the join chain; returns (alias -> table, FROM-clause SQL)."""
+        cfg = self.joins
+        first = rng.choice(self._tables)
+        aliases: dict[str, str] = {"t0": first}
+        nullable: set[str] = set()
+        pieces = [f"{first} AS t0"]
+        target_joins = rng.randint(cfg.min_joins, cfg.max_joins)
+        for step in range(1, target_joins + 1):
+            clause = self._sample_join_clause(rng, aliases, nullable, f"t{step}")
+            if clause is None:
+                break
+            pieces.append(clause)
+        return aliases, " ".join(pieces)
+
+    def _sample_join_clause(
+        self,
+        rng: random.Random,
+        aliases: dict[str, str],
+        nullable: set[str],
+        new_alias: str,
+    ) -> str | None:
+        """One JOIN clause anchored on an in-scope alias, or None to stop."""
+        outer = rng.random() < self.joins.outer_fraction
+        # The binder rejects inner joins anchored on a nullable alias (the
+        # result below an outer join must stay reorderable); once every alias
+        # is nullable — after a FULL join — only outer clauses may follow.
+        candidates = [
+            alias
+            for alias in aliases
+            if aliases[alias] in self._adjacency and (outer or alias not in nullable)
+        ]
+        if not candidates and not outer:
+            outer = True
+            candidates = [a for a in aliases if aliases[a] in self._adjacency]
+        if not candidates:
+            return None
+        anchor = rng.choice(candidates)
+        column, new_table, new_column = rng.choice(self._adjacency[aliases[anchor]])
+        aliases[new_alias] = new_table
+        condition = f"{anchor}.{column} = {new_alias}.{new_column}"
+        if not outer:
+            return f"JOIN {new_table} AS {new_alias} ON {condition}"
+        if rng.random() < self.joins.full_fraction:
+            nullable.update(aliases)
+            return f"FULL OUTER JOIN {new_table} AS {new_alias} ON {condition}"
+        nullable.add(new_alias)
+        return f"LEFT JOIN {new_table} AS {new_alias} ON {condition}"
+
+    def _integer_columns(self, aliases: dict[str, str]) -> list[tuple[str, str, bool]]:
+        """Sorted ``(alias, column, nullable)`` triples of INTEGER columns."""
+        out = []
+        for alias in sorted(aliases):
+            for column in self.schema.table(aliases[alias]).columns:
+                if column.ctype is ColumnType.INTEGER:
+                    out.append((alias, column.name, column.nullable))
+        return out
+
+    def _sample_filters(self, rng: random.Random, aliases: dict[str, str]) -> list[str]:
+        cfg = self.predicates
+        columns = self._integer_columns(aliases)
+        filters = []
+        for _ in range(rng.randint(0, cfg.max_filters)):
+            alias, column, nullable = rng.choice(columns)
+            if nullable and rng.random() < cfg.null_fraction:
+                negated = "NOT " if rng.random() < 0.5 else ""
+                filters.append(f"{alias}.{column} IS {negated}NULL")
+            else:
+                op = rng.choice(cfg.comparison_ops)
+                low, high = cfg.literal_range
+                filters.append(f"{alias}.{column} {op} {rng.randint(low, high)}")
+        return filters
+
+    def _sample_select(
+        self, rng: random.Random, aliases: dict[str, str]
+    ) -> tuple[list[str], list[str]]:
+        cfg = self.aggregates
+        columns = self._integer_columns(aliases)
+        items = ["COUNT(*)"]
+        for _ in range(rng.randint(0, cfg.max_aggregates)):
+            alias, column, _ = rng.choice(columns)
+            function = rng.choice(cfg.functions)
+            items.append(f"{function.upper()}({alias}.{column})")
+        group_by: list[str] = []
+        if rng.random() < cfg.group_by_fraction:
+            alias, column, _ = rng.choice(columns)
+            group_by.append(f"{alias}.{column}")
+            items.insert(0, f"{alias}.{column}")
+        return items, group_by
+
+
+def build_random_workload(
+    schema: Schema,
+    count: int = 32,
+    seed: int = 2024,
+    joins: JoinSamplerConfig | None = None,
+    predicates: PredicateSamplerConfig | None = None,
+    aggregates: AggregateSamplerConfig | None = None,
+    name: str | None = None,
+) -> Workload:
+    """Bind ``count`` generated queries into a workload.
+
+    Queries are grouped into families by join count, mirroring how the
+    hand-written workloads group variants of one base query.
+    """
+    generator = RandomSqlGenerator(
+        schema, seed=seed, joins=joins, predicates=predicates, aggregates=aggregates
+    )
+    queries = []
+    for index in range(count):
+        sql = generator.sql(index)
+        query_id = f"rand_{seed}_{index}"
+        bound = bind_query(parse_select(sql), schema, name=query_id)
+        queries.append(
+            BenchmarkQuery(
+                query_id=query_id,
+                family=f"rand_j{bound.num_joins}",
+                sql=sql,
+                bound=bound,
+            )
+        )
+    return Workload(name or f"random-{seed}", schema, queries)

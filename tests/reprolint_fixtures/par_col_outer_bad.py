@@ -1,4 +1,10 @@
-"""PAR fixture: a columnar side whose charges mirror ``par_row`` exactly."""
+"""PAR fixture: scan and join mirror ``par_row``, but the outer join drifted.
+
+``columnar_outer_join`` charges the join with the operand sizes swapped — the
+exact regression the outer-join parity pair exists to catch: NULL extension
+tempts an implementation to charge for the extended output instead of the
+inputs, silently changing simulated timings on one engine only.
+"""
 
 from tests.reprolint_fixtures.par_row import charge_join_type
 
@@ -17,6 +23,6 @@ def columnar_join(database, node, left_size, right_size, work_mem, metrics):
 
 
 def columnar_outer_join(database, node, left_size, right_size, work_mem, metrics):
-    charge_join_type(database, node, left_size, right_size, work_mem, metrics)
+    charge_join_type(database, node, right_size, left_size, work_mem, metrics)
     metrics.tuples_out = left_size + right_size
     return metrics

@@ -16,3 +16,9 @@ def execute_join(database, node, left_size, right_size, work_mem, metrics):
 
 def charge_join_type(database, node, left_size, right_size, work_mem, metrics):
     metrics.cpu_ops += left_size + right_size
+
+
+def execute_outer_join(database, node, left_size, right_size, work_mem, metrics):
+    charge_join_type(database, node, left_size, right_size, work_mem, metrics)
+    metrics.tuples_out = left_size + right_size
+    return metrics

@@ -141,6 +141,31 @@ class TestParRules:
         assert "PAR302" in rules_of(findings)
         assert any("columnar_scan" in finding.message for finding in findings)
 
+    def outer_par_config(self, columnar_name: str) -> LintConfig:
+        """The fixture config extended with the outer-join operator pair."""
+        base = self.par_config(columnar_name)
+        return LintConfig(
+            par_row_module=base.par_row_module,
+            par_columnar_module=base.par_columnar_module,
+            par_pairs=base.par_pairs
+            + (ParityPair("outer_join", "execute_outer_join", "columnar_outer_join"),),
+        )
+
+    def test_outer_join_pair_is_clean_when_mirrored(self):
+        files = [FIXTURES / "par_row.py", FIXTURES / "par_col_ok.py"]
+        assert lint_paths(files, self.outer_par_config("par_col_ok.py")) == []
+
+    def test_outer_join_charge_divergence_fails_par301(self):
+        """Swapping the charge's operand sizes in the outer join alone trips PAR."""
+        files = [FIXTURES / "par_row.py", FIXTURES / "par_col_outer_bad.py"]
+        findings = lint_paths(files, self.outer_par_config("par_col_outer_bad.py"))
+        assert rules_of(findings) == ["PAR301"]
+        assert "outer_join" in findings[0].message
+        assert "charge_join_type" in findings[0].message
+        # Without the outer pair configured, the same drifted fixture passes —
+        # the divergence lives only in the newly paired operator.
+        assert lint_paths(files, self.par_config("par_col_outer_bad.py")) == []
+
     def test_half_missing_engine_pair_is_reported(self):
         config = self.par_config("par_col_ok.py")
         findings = lint_paths([FIXTURES / "par_row.py"], config)

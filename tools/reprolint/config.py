@@ -101,7 +101,7 @@ def default_config() -> LintConfig:
       HMAC-verifies before unpickling — enforced structurally by SEC202).
     * CONC audits the whole runtime package; the lock-owning classes today
       are ``QueueServer``, ``SweepProgress`` and ``PlanCache``.
-    * PAR pairs the three operators of ``executor/operators.py`` with their
+    * PAR pairs the four operators of ``executor/operators.py`` with their
       ``executor/columnar.py`` counterparts, pinning the "identical calls in
       identical order" oracle contract from ``docs/EXECUTOR.md``.
     """
@@ -135,6 +135,7 @@ def default_config() -> LintConfig:
             ParityPair("scan", "execute_scan", "columnar_scan"),
             ParityPair("join", "execute_join", "columnar_join"),
             ParityPair("index_nestloop", "execute_index_nestloop", "columnar_index_nestloop"),
+            ParityPair("outer_join", "execute_outer_join", "columnar_outer_join"),
         ),
         skip_paths=("*/tests/reprolint_fixtures/*",),
     )
