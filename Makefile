@@ -17,6 +17,12 @@
 #   make bench-executor    - row vs columnar engine on the full JOB workload;
 #                            asserts byte-equivalence and writes the speedup
 #                            to BENCH_executor_columnar.json
+#   make bench-plan-serving - concurrent clients replaying random SQL against
+#                            the keyed PlanServer; asserts byte-identical
+#                            plans, a rejected unauthenticated client and the
+#                            post-invalidate hit-rate drop, and writes
+#                            qps/p50/p95/p99/hit-rate to BENCH_plan_serving.json
+#                            (+ BENCH_plan_serving_stats.json server snapshot)
 #   make fuzz-engines      - 1000 seeded random queries through the row
 #                            engine, the columnar engine and a brute-force
 #                            oracle; failing queries land in FUZZ_CORPUS
@@ -52,7 +58,7 @@ FUZZ_CORPUS ?= $(shell mktemp -d /tmp/repro-fuzz-corpus.XXXXXX)
 # value only needs to match between coordinator and workers).
 REPRO_QUEUE_SECRET ?= local-bench-secret
 
-.PHONY: test lint typecheck docs-check bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench-executor fuzz-engines bench example
+.PHONY: test lint typecheck docs-check bench-smoke bench-parallel bench-distributed bench-distributed-tcp bench-progress bench-executor bench-plan-serving fuzz-engines bench example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -98,6 +104,10 @@ bench-progress:
 
 bench-executor:
 	$(PYTHON) -m pytest benchmarks/bench_executor_columnar.py -q -s
+
+bench-plan-serving:
+	REPRO_QUEUE_SECRET=$(REPRO_QUEUE_SECRET) \
+	$(PYTHON) -m pytest benchmarks/bench_plan_serving.py -q -s
 
 fuzz-engines:
 	REPRO_FUZZ_COUNT=1000 REPRO_FUZZ_CORPUS=$(FUZZ_CORPUS) \

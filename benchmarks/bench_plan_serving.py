@@ -1,0 +1,219 @@
+"""Benchmark: the plan-serving control plane under concurrent client load.
+
+``N`` concurrent clients (threads, one :class:`PlanClient` each) replay
+deterministic :class:`RandomSqlGenerator` streams against one
+:class:`PlanServer` over the HMAC-authenticated frame codec, all sharing the
+server's cross-request plan cache.  The run records sustained throughput
+(queries/s), client-observed round-trip latency percentiles (p50/p95/p99)
+and the shared-cache hit rate to ``BENCH_plan_serving.json`` at the repo
+root (override with ``REPRO_BENCH_PLAN_JSON``); the server's final
+:class:`PlanServerStats` snapshot lands next to it as
+``BENCH_plan_serving_stats.json`` (``REPRO_BENCH_PLAN_STATS_JSON``).
+
+Three properties are asserted along the way, mirroring the serving tests:
+
+* a served plan is byte-identical (under ``pickle.dumps``, after one
+  serialization hop on both sides) to a direct in-process ``Planner`` call,
+* an unauthenticated client is rejected before anything is unpickled
+  (``QueueAuthError``, counted in the server's ``auth_rejects``),
+* a catalog-generation bump (``invalidate``) visibly drops the cache hit
+  rate without restarting the server — the replayed stream misses once per
+  query and re-warms.
+
+Knobs: ``REPRO_BENCH_PLAN_CLIENTS`` (concurrent clients, default 4),
+``REPRO_BENCH_PLAN_REQUESTS`` (requests per client, default 80),
+``REPRO_BENCH_PLAN_DISTINCT`` (distinct queries in the replayed pool,
+default 24), ``REPRO_BENCH_PLAN_SCALE`` (database scale, default 0.15).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+import time
+from pathlib import Path
+
+from repro.config import SIMULATION_CONFIG
+from repro.optimizer.planner import Planner
+from repro.runtime.netqueue import QueueAuthError
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.planclient import PlanClient
+from repro.runtime.planserver import PlanServer
+from repro.sql.binder import bind_sql
+from repro.storage.registry import get_process_registry
+from repro.storage.spec import DatabaseSpec
+from repro.workloads.random_gen import JoinSamplerConfig, RandomSqlGenerator
+
+import pytest
+
+BENCH_CLIENTS = int(os.environ.get("REPRO_BENCH_PLAN_CLIENTS", "4"))
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_PLAN_REQUESTS", "80"))
+BENCH_DISTINCT = int(os.environ.get("REPRO_BENCH_PLAN_DISTINCT", "24"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_PLAN_SCALE", "0.15"))
+
+#: Shared frame-signing secret; the Makefile exports REPRO_QUEUE_SECRET.
+SECRET = os.environ.get("REPRO_QUEUE_SECRET") or "plan-serving-bench-secret"
+
+DEFAULT_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_plan_serving.json"
+DEFAULT_STATS_PATH = Path(__file__).resolve().parent.parent / "BENCH_plan_serving_stats.json"
+
+
+def _percentile(sorted_samples: list[float], fraction: float) -> float:
+    rank = min(len(sorted_samples) - 1, max(0, round(fraction * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]
+
+
+def _latency_summary(latencies_ms: list[float]) -> dict[str, float]:
+    samples = sorted(latencies_ms)
+    return {
+        "count": len(samples),
+        "mean": round(sum(samples) / len(samples), 4),
+        "p50": round(_percentile(samples, 0.50), 4),
+        "p95": round(_percentile(samples, 0.95), 4),
+        "p99": round(_percentile(samples, 0.99), 4),
+    }
+
+
+def _replay_phase(server: PlanServer, sqls: list[str], phase: str) -> dict:
+    """Replay the query pool from every client concurrently; measure client-side.
+
+    Each client walks the same deterministic pool at a different starting
+    offset, so early requests contend for cold entries (exercising the
+    single-flight miss path) while the steady state is hit-dominated.
+    """
+    latencies: list[list[float]] = [[] for _ in range(BENCH_CLIENTS)]
+    hits: list[int] = [0] * BENCH_CLIENTS
+    errors: list[Exception] = []
+    barrier = threading.Barrier(BENCH_CLIENTS)
+
+    def run_client(index: int) -> None:
+        client = PlanClient(
+            server.url,
+            client_id=f"{phase}-client-{index}",
+            secret=SECRET,
+            retries=1,
+            reject_retries=8,
+        )
+        try:
+            barrier.wait(timeout=30)
+            for step in range(BENCH_REQUESTS):
+                sql = sqls[(index * 7 + step) % len(sqls)]
+                started = time.perf_counter()
+                served = client.plan(sql)
+                latencies[index].append((time.perf_counter() - started) * 1000.0)
+                hits[index] += 1 if served.cache_hit else 0
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run_client, args=(i,)) for i in range(BENCH_CLIENTS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed_s = time.perf_counter() - started
+    assert not errors, errors
+    all_latencies = [sample for bucket in latencies for sample in bucket]
+    requests = len(all_latencies)
+    assert requests == BENCH_CLIENTS * BENCH_REQUESTS
+    return {
+        "phase": phase,
+        "clients": BENCH_CLIENTS,
+        "requests": requests,
+        "elapsed_s": round(elapsed_s, 4),
+        "qps": round(requests / elapsed_s, 2),
+        "client_hit_rate": round(sum(hits) / requests, 4),
+        "latency_ms": _latency_summary(all_latencies),
+    }
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_plan_serving_load():
+    assert BENCH_CLIENTS >= 2, "the load harness needs concurrent clients"
+    spec = DatabaseSpec.create("imdb", scale=BENCH_SCALE, seed=42, config=SIMULATION_CONFIG)
+    database = get_process_registry().get(spec)
+    generator = RandomSqlGenerator(
+        database.schema,
+        seed=2026,
+        # Modest outer-join share keeps the pool planner-diverse but fast.
+        joins=JoinSamplerConfig(max_joins=4, outer_fraction=0.25, full_fraction=0.2),
+    )
+    sqls = [generator.sql(index) for index in range(BENCH_DISTINCT)]
+
+    server = PlanServer(database, secret=SECRET)
+    try:
+        # Phase 1: cold cache (every distinct query misses once, single-flight).
+        cold = _replay_phase(server, sqls, "cold")
+        # Phase 2: fully warmed steady state — the headline qps/latency numbers.
+        steady = _replay_phase(server, sqls, "steady")
+        assert steady["client_hit_rate"] == 1.0, "steady state should be all hits"
+
+        # Served plans are the direct planner's plans, byte for byte (after
+        # one serialization hop on both sides; the served one already took it).
+        probe = PlanClient(server.url, client_id="probe", secret=SECRET)
+        direct = Planner(database, plan_cache=PlanCache())
+        for sql in sqls[:5]:
+            served = probe.plan(sql)
+            local = direct.plan_with_info(bind_sql(sql, database.schema))
+            direct_bytes = pickle.dumps(pickle.loads(pickle.dumps(local.plan)))
+            assert pickle.dumps(served.plan) == direct_bytes, f"plan drift for {sql!r}"
+
+        # An unauthenticated client is turned away loudly, before unpickling.
+        intruder = PlanClient(server.url, secret="", retries=0)
+        try:
+            intruder.plan(sqls[0])
+            raise AssertionError("unauthenticated client was served")
+        except QueueAuthError:
+            pass
+        assert server.stats().auth_rejects >= 1
+
+        # Phase 3: catalog-generation bump -> visible hit-rate drop, no restart.
+        hit_rate_before = server.stats().cache["hit_rate"]
+        generations = probe.invalidate()
+        assert all(gen > 0 for gen in generations.values())
+        rebuild = _replay_phase(server, sqls, "post-invalidate")
+        snapshot = server.stats()
+        assert snapshot.cache["invalidations"] >= 1
+        # The replay misses once per distinct query before re-warming: the
+        # post-bump phase's client-observed hit rate must dip below the fully
+        # warmed steady state's 100%.
+        assert rebuild["client_hit_rate"] < steady["client_hit_rate"]
+        assert snapshot.cache["misses"] >= 2 * len(sqls)
+
+        payload = {
+            "benchmark": "plan-serving control plane: concurrent replay over the authenticated codec",
+            "scale": BENCH_SCALE,
+            "distinct_queries": len(sqls),
+            "clients": BENCH_CLIENTS,
+            "requests_per_client": BENCH_REQUESTS,
+            "qps": steady["qps"],
+            "latency_ms": steady["latency_ms"],
+            "cache_hit_rate": snapshot.cache["hit_rate"],
+            "hit_rate_before_invalidate": hit_rate_before,
+            "hit_rate_steady": steady["client_hit_rate"],
+            "hit_rate_post_invalidate": rebuild["client_hit_rate"],
+            "phases": [cold, steady, rebuild],
+            "auth_rejects": snapshot.auth_rejects,
+            "rejected": snapshot.rejected,
+            "byte_identical": True,
+            "authenticated": True,
+        }
+        json_path = Path(os.environ.get("REPRO_BENCH_PLAN_JSON") or DEFAULT_JSON_PATH)
+        json_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        stats_path = Path(os.environ.get("REPRO_BENCH_PLAN_STATS_JSON") or DEFAULT_STATS_PATH)
+        stats_path.write_text(json.dumps(snapshot.to_dict(), indent=1, sort_keys=True) + "\n")
+
+        print()
+        print(
+            f"plan serving: {BENCH_CLIENTS} clients x {BENCH_REQUESTS} requests "
+            f"over {len(sqls)} distinct queries -> {steady['qps']:.0f} qps steady, "
+            f"p50 {steady['latency_ms']['p50']:.2f}ms / p95 {steady['latency_ms']['p95']:.2f}ms / "
+            f"p99 {steady['latency_ms']['p99']:.2f}ms, "
+            f"hit rate steady {steady['client_hit_rate']:.1%} -> "
+            f"post-invalidate {rebuild['client_hit_rate']:.1%}, "
+            f"auth_rejects {snapshot.auth_rejects}"
+        )
+    finally:
+        server.close()

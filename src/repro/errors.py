@@ -81,5 +81,22 @@ class ExperimentError(ReproError):
     """The benchmarking framework was asked to do something inconsistent."""
 
 
+class PlanServiceError(ExperimentError):
+    """The plan-serving control plane failed or rejected a request."""
+
+
+class PlanRejected(PlanServiceError):
+    """The plan server turned a request away under admission control.
+
+    An explicit backpressure signal, never a silent stall: the server is
+    alive but at capacity (global or per-client in-flight limit).  Carries
+    ``retry_after_s``, the server's backoff suggestion.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class WorkloadError(ReproError):
     """A workload or query template is malformed."""

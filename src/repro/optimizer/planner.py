@@ -85,6 +85,31 @@ class Planner:
             f"{database.name}:{database.total_rows()}|{self._geqo.parameters!r}".encode("utf-8")
         ).hexdigest()[:16]
 
+    # ------------------------------------------------------------------ caching
+    @property
+    def cache_scope(self) -> str:
+        """This planner's cache-scope digest (database identity + GEQO parameters)."""
+        return self._cache_scope
+
+    def cache_key(self, query: BoundQuery, hints: HintSet = NO_HINTS) -> tuple:
+        """The shared-cache key a plan request would use right now.
+
+        Includes the scope's current generation, so a key computed before an
+        :meth:`invalidate_cached_plans` bump never matches an entry stored
+        after it (and vice versa).  The serving layer uses this to probe the
+        cache without planning.
+        """
+        return self.plan_cache.key_for(query, self.config, hints, self._cache_scope)
+
+    def invalidate_cached_plans(self) -> int:
+        """Retire every cached plan of this planner's scope (bump-on-change).
+
+        Call after the underlying catalog or statistics change in a way the
+        fingerprints cannot see (an ANALYZE refresh, regenerated tables);
+        returns the scope's new generation.
+        """
+        return self.plan_cache.invalidate_scope(self._cache_scope)
+
     # ------------------------------------------------------------------ planning
     def plan(self, query: BoundQuery, hints: HintSet = NO_HINTS) -> PlanNode:
         """Plan a query and return the physical plan (no metadata)."""
@@ -97,7 +122,7 @@ class Planner:
         if n == 0:
             raise OptimizerError("cannot plan a query without relations")
 
-        cache_key = self.plan_cache.key_for(query, self.config, hints, self._cache_scope)
+        cache_key = self.cache_key(query, hints)
         cached = self.plan_cache.get(cache_key)
         if cached is not None:
             return cached

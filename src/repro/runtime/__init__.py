@@ -21,6 +21,11 @@ scales with the hardware:
   results uploaded back in the ack frame — no shared filesystem required —
   and optional HMAC frame authentication (``REPRO_QUEUE_SECRET``) verified
   before anything is unpickled.
+* :mod:`repro.runtime.planserver` / :mod:`repro.runtime.planclient` — the
+  plan-serving control plane: a :class:`PlanServer` answering SQL-text
+  planning requests over the same authenticated frame codec, all clients
+  sharing one :class:`PlanCache` with generation-bump invalidation and
+  explicit admission control (see ``docs/SERVING.md``).
 * :mod:`repro.runtime.progress` — the :class:`SweepProgress` reporter that
   turns live queue stats into periodic machine-readable
   :class:`ProgressSnapshot`\\ s (throughput, ETA, per-worker counts).
@@ -67,11 +72,20 @@ from repro.runtime.workqueue import (
 def __getattr__(name: str):
     # The parallel runner is exported lazily: importing it eagerly would close
     # an import cycle (planner -> plan_cache -> this package -> parallel ->
-    # core.experiment -> lqo.base -> planner).
+    # core.experiment -> lqo.base -> planner).  The plan-serving control plane
+    # is lazy for the same reason (planserver -> optimizer.planner).
     if name in ("ExperimentTask", "ParallelExperimentRunner", "SpecTaskPayload"):
         from repro.runtime import parallel
 
         return getattr(parallel, name)
+    if name in ("PlanServer", "PlanServerStats"):
+        from repro.runtime import planserver
+
+        return getattr(planserver, name)
+    if name in ("PlanClient", "ServedPlan"):
+        from repro.runtime import planclient
+
+        return getattr(planclient, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -81,7 +95,11 @@ __all__ = [
     "ParallelExperimentRunner",
     "SpecTaskPayload",
     "PlanCache",
+    "PlanClient",
+    "PlanServer",
+    "PlanServerStats",
     "ProgressSnapshot",
+    "ServedPlan",
     "QueueAddress",
     "QueueAuthError",
     "QueueServer",

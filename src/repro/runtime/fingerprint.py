@@ -18,6 +18,10 @@ from repro.plans.hints import HintSet
 from repro.sql.binder import BoundQuery
 
 #: Attribute used to memoize a query's fingerprint on the bound object.
+#: The ``_repro_`` prefix is load-bearing: ``BoundQuery.__getstate__`` strips
+#: every ``_repro_*`` attribute on pickling, so a memo computed in one
+#: process is never trusted across process/host boundaries (task payloads,
+#: serving frames) — the receiver recomputes from content on first use.
 _QUERY_FP_ATTR = "_repro_fingerprint"
 
 

@@ -272,6 +272,20 @@ class BoundQuery:
             return self.statement.to_sql()
         raise BindingError("bound query has no attached statement to render")
 
+    # -- serialization -----------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle only the bound content, never memoized ``_repro_*`` attributes.
+
+        The runtime memoizes derived values directly on bound instances (the
+        content fingerprint, see :mod:`repro.runtime.fingerprint`).  Those
+        memos are process-local caches: a bound query travels inside pickled
+        task and serving payloads across process *and host* boundaries, and a
+        stale or tampered memo would be silently trusted as a cache/store key
+        on the receiving side.  Stripping them here forces every consumer to
+        recompute from content on first use.
+        """
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_repro_")}
+
     def __str__(self) -> str:
         label = self.name or "query"
         return f"BoundQuery({label}: {self.num_relations} relations, {self.num_joins} joins)"

@@ -43,6 +43,14 @@ from repro.sql.parser import parse_select
 from repro.workloads.workload import BenchmarkQuery, Workload
 
 
+def _check_fraction(name: str, value: float) -> None:
+    """A probability knob outside [0, 1] silently skews every sample after it
+    (``rng.random() < 1.7`` is just "always"), so the configs reject it up
+    front instead."""
+    if not 0.0 <= value <= 1.0:
+        raise WorkloadError(f"{name} must be within [0, 1], got {value!r}")
+
+
 @dataclass(frozen=True)
 class JoinSamplerConfig:
     """Distribution of the join chain."""
@@ -57,6 +65,8 @@ class JoinSamplerConfig:
     def __post_init__(self) -> None:
         if not 0 <= self.min_joins <= self.max_joins:
             raise WorkloadError("join sampler needs 0 <= min_joins <= max_joins")
+        _check_fraction("JoinSamplerConfig.outer_fraction", self.outer_fraction)
+        _check_fraction("JoinSamplerConfig.full_fraction", self.full_fraction)
 
 
 @dataclass(frozen=True)
@@ -72,6 +82,23 @@ class PredicateSamplerConfig:
     #: Inclusive range integer comparison literals are drawn from.
     literal_range: tuple[int, int] = (0, 12)
 
+    def __post_init__(self) -> None:
+        if self.max_filters < 0:
+            raise WorkloadError(
+                f"PredicateSamplerConfig.max_filters must be >= 0, got {self.max_filters!r}"
+            )
+        _check_fraction("PredicateSamplerConfig.null_fraction", self.null_fraction)
+        if self.max_filters > 0 and not self.comparison_ops:
+            raise WorkloadError(
+                "PredicateSamplerConfig.comparison_ops must not be empty when filters are sampled"
+            )
+        low, high = self.literal_range
+        if low > high:
+            raise WorkloadError(
+                f"PredicateSamplerConfig.literal_range must be (low, high) with low <= high, "
+                f"got {self.literal_range!r}"
+            )
+
 
 @dataclass(frozen=True)
 class AggregateSamplerConfig:
@@ -82,6 +109,17 @@ class AggregateSamplerConfig:
     #: Extra aggregates sampled on top of the always-present ``COUNT(*)``.
     max_aggregates: int = 2
     functions: tuple[str, ...] = ("min", "max")
+
+    def __post_init__(self) -> None:
+        _check_fraction("AggregateSamplerConfig.group_by_fraction", self.group_by_fraction)
+        if self.max_aggregates < 0:
+            raise WorkloadError(
+                f"AggregateSamplerConfig.max_aggregates must be >= 0, got {self.max_aggregates!r}"
+            )
+        if self.max_aggregates > 0 and not self.functions:
+            raise WorkloadError(
+                "AggregateSamplerConfig.functions must not be empty when aggregates are sampled"
+            )
 
 
 class RandomSqlGenerator:

@@ -23,3 +23,10 @@ class LeakyCounter:
     def reset(self) -> None:
         self._count = 0  # CONC401: plain assign outside the lock
         del self._by_worker["w"]  # CONC401: item delete outside the lock
+
+    def total(self) -> int:
+        return self._count  # CONC402: unlocked read of mutated state
+
+    def busiest(self) -> str:
+        workers = sorted(self._by_worker)  # CONC402: unlocked read of mutated dict
+        return workers[0]

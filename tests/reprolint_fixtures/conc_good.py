@@ -22,7 +22,16 @@ class GuardedCounter:
 
     def snapshot(self) -> int:
         with self._lock:
-            return self._count  # reads are fine anywhere, guarded or not
+            return self._count  # guarded read of mutated state: fine
+
+    def _drain_locked(self) -> dict[str, int]:
+        # *_locked suffix: caller-holds-the-lock convention, reads exempt
+        return dict(self._by_worker)
+
+    def describe(self) -> str:
+        # _thread is only assigned in __init__ (immutable configuration),
+        # so reading it unguarded is not a CONC402.
+        return f"counter on {self._thread.name}"
 
     def halt(self) -> None:
         self._stop.set()  # Event carries its own synchronization

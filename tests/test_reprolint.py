@@ -100,10 +100,20 @@ class TestConcRules:
 
     def test_bad_fixture_catches_every_mutation_kind(self):
         findings = lint_file(FIXTURES / "conc_bad.py", self.CONFIG)
-        assert rules_of(findings) == ["CONC401"] * 5
+        assert sorted(rules_of(findings)) == ["CONC401"] * 5 + ["CONC402"] * 3
         messages = " | ".join(finding.message for finding in findings)
         assert "self._count" in messages and "self._by_worker" in messages
         assert "self._log" in messages and ".append()" in messages
+
+    def test_unlocked_reads_flag_only_mutated_attributes(self):
+        findings = lint_file(FIXTURES / "conc_bad.py", self.CONFIG)
+        reads = [finding for finding in findings if finding.rule == "CONC402"]
+        # bump()'s RHS read, total() and busiest() — but never the mutation
+        # receivers themselves (those are CONC401's findings).
+        assert len(reads) == 3
+        assert {"total", "busiest", "bump"} == {
+            finding.message.split()[0].split(".")[1] for finding in reads
+        }
 
     def test_good_fixture_is_clean(self):
         assert lint_file(FIXTURES / "conc_good.py", self.CONFIG) == []

@@ -1,15 +1,25 @@
-"""CONC rule: lock-owning classes guard their shared ``self._*`` mutations.
+"""CONC rules: lock-owning classes guard their shared ``self._*`` state.
 
 The runtime's coordinator threads, heartbeats, progress reporters and the
 TCP queue's handler threads all share objects whose classes announce their
 concurrency story by creating a ``self._lock``.  That announcement is the
-contract CONC401 enforces: once a class constructs a ``threading.Lock`` /
-``RLock`` attribute, every mutation of an underscore-prefixed ``self``
-attribute outside ``__init__`` must happen inside a ``with self._lock``
-block.  (``__init__`` runs before the object is shared — publication
-happens-before any other thread's access — so construction is exempt; reads
-are not flagged, a deliberate precision trade-off documented in
-``docs/STATIC_ANALYSIS.md``.)
+contract the CONC family enforces: once a class constructs a
+``threading.Lock`` / ``RLock`` attribute,
+
+* **CONC401** — every mutation of an underscore-prefixed ``self`` attribute
+  outside ``__init__`` must happen inside a ``with self._lock`` block.
+* **CONC402** — every *read* of an attribute the class mutates outside its
+  constructors must be guarded too.  An unlocked ``len(self._entries)`` next
+  to a locked ``self._entries[key] = ...`` is a data race even on CPython
+  (``OrderedDict`` iteration can observe a resize mid-flight), and it reads
+  a counter that may be half of a multi-field update.  Attributes only ever
+  assigned in ``__init__``/``__post_init__``/``__new__`` are immutable
+  configuration — reading them anywhere is fine and not flagged.  Methods
+  named ``*_locked`` are exempt: that suffix is the codebase's caller-holds-
+  the-lock convention (they must only be invoked from guarded code).
+
+``__init__`` runs before the object is shared — publication happens-before
+any other thread's access — so construction is exempt from both rules.
 
 Mutations recognised: attribute assignment and augmented assignment
 (``self._x = ...``, ``self._x += ...``), item assignment/deletion on the
@@ -20,7 +30,7 @@ the mutator list — events carry their own synchronization.
 
 A guard is any enclosing ``with`` whose context expression mentions an
 identifier containing ``lock`` (``self._lock``, a module-level
-``_PRINT_LOCK``); the rule checks guardedness, not *which* lock — one lock
+``_PRINT_LOCK``); the rules check guardedness, not *which* lock — one lock
 per class is the codebase's convention.
 """
 
@@ -152,6 +162,62 @@ def _mutations(method: ast.AST):
                     yield node, attr, f"calls .{func.attr}() on"
 
 
+def _mutation_receiver_ids(method: ast.AST) -> set[int]:
+    """``id()`` of every ``self._*`` attribute node that is a mutation receiver.
+
+    CONC402 scans ``Load``-context attribute reads; the receiver of an item
+    write (``self._d`` in ``self._d[k] = v``) or a mutator call (``self._log``
+    in ``self._log.append(x)``) technically *is* such a read, but the mutation
+    it belongs to is already CONC401's finding — excluding the exact nodes
+    avoids reporting the same statement twice.  Subscript *indices* are not
+    excluded: ``self._d[self._i] = v`` still reads ``self._i``.
+    """
+    ids: set[int] = set()
+
+    def receiver(target: ast.AST) -> None:
+        if isinstance(target, ast.Attribute):
+            ids.add(id(target))
+        elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Attribute):
+            ids.add(id(target.value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                receiver(element)
+
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                receiver(target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                receiver(target)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                if isinstance(func.value, ast.Attribute):
+                    ids.add(id(func.value))
+    return ids
+
+
+def _shared_attrs(cls: ast.ClassDef, locks: set[str]) -> set[str]:
+    """Attributes the class mutates outside its constructors.
+
+    These are the racy ones: a read elsewhere can interleave with a
+    concurrent write.  Attributes assigned only during construction are
+    effectively immutable configuration and stay out of this set.
+    """
+    shared: set[str] = set()
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name in _CONSTRUCTORS:
+            continue
+        for _node, attr, _verb in _mutations(method):
+            if attr not in locks:
+                shared.add(attr)
+    return shared
+
+
 def check(tree: ast.AST, path: Path, config: LintConfig) -> list[Finding]:
     """CONC findings for one parsed module (parents must be attached)."""
     if not path_matches(path, config.conc_paths):
@@ -163,6 +229,8 @@ def check(tree: ast.AST, path: Path, config: LintConfig) -> list[Finding]:
         locks = _lock_attrs(cls)
         if not locks:
             continue
+        lock_name = next(iter(sorted(locks)))
+        shared = _shared_attrs(cls, locks)
         for method in cls.body:
             if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -180,7 +248,31 @@ def check(tree: ast.AST, path: Path, config: LintConfig) -> list[Finding]:
                         node.col_offset,
                         "CONC401",
                         f"{cls.name}.{method.name} {verb} shared attribute "
-                        f"'self.{attr}' outside 'with self.{next(iter(sorted(locks)))}'",
+                        f"'self.{attr}' outside 'with self.{lock_name}'",
+                    )
+                )
+            if method.name.endswith("_locked"):
+                continue  # caller-holds-the-lock convention: reads are the caller's duty
+            receivers = _mutation_receiver_ids(method)
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Attribute) or not isinstance(node.ctx, ast.Load):
+                    continue
+                attr = _self_underscore_attr(node)
+                if attr is None or attr not in shared:
+                    continue
+                if id(node) in receivers:
+                    continue
+                if _is_guarded(node):
+                    continue
+                findings.append(
+                    Finding(
+                        str(path),
+                        node.lineno,
+                        node.col_offset,
+                        "CONC402",
+                        f"{cls.name}.{method.name} reads shared attribute "
+                        f"'self.{attr}' outside 'with self.{lock_name}' "
+                        f"(the class mutates it outside construction)",
                     )
                 )
     return findings

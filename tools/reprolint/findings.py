@@ -21,6 +21,7 @@ RULE_CATALOG: dict[str, str] = {
     "SEC201": "pickle.loads/pickle.load outside the allowlisted trusted-input functions",
     "SEC202": "network-reachable pickle.loads not dominated by a signature-verify gate in the same function",
     "CONC401": "lock-owning class mutates a shared self._* attribute outside 'with self._lock'",
+    "CONC402": "lock-owning class reads a mutated self._* attribute outside 'with self._lock'",
     "PAR301": "row/columnar engine buffer-pool charge sequences diverge for a paired operator",
     "PAR302": "operator function missing from one side of a row/columnar engine pair",
     "E999": "file could not be parsed",
